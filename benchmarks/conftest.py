@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark harness.
+
+The expensive artifact — the k-sweep with the fusion attack simulated at every
+level (the basis of Figures 4-8) — is computed once per session and shared by
+all figure benchmarks; each benchmark target then regenerates its own
+table/figure from it and records the reproduced series in ``extra_info`` so the
+numbers appear in the benchmark report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import default_setup, run_sweep
+
+
+@pytest.fixture(scope="session")
+def paper_setup():
+    """The paper-scale experimental setup (synthetic faculty + web corpus)."""
+    return default_setup()
+
+
+@pytest.fixture(scope="session")
+def paper_sweep(paper_setup):
+    """The full k = 2..16 sweep with the attack simulated at every level."""
+    return run_sweep(paper_setup)
+
+
+@pytest.fixture(scope="session")
+def small_setup():
+    """A reduced setup for the heavier end-to-end benchmarks."""
+    return default_setup(count=40, seed=5, levels=(2, 3, 4, 6, 8))

@@ -1,0 +1,84 @@
+"""Benchmarks regenerating the paper's Figures 4-8.
+
+The shared ``paper_sweep`` fixture runs the paper's evaluation sweep once
+(k = 2..16, MDAV microaggregation of the synthetic faculty dataset, web-based
+information-fusion attack simulated at every level).  Each figure target then
+regenerates its series from the sweep, asserts the paper's qualitative shape,
+and attaches the reproduced series to the benchmark report via ``extra_info``.
+
+``test_evaluation_sweep`` benchmarks the sweep itself (the actual expensive
+computation behind every figure).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import (
+    derive_thresholds,
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    run_figure8,
+    run_sweep,
+)
+
+
+def test_evaluation_sweep(benchmark, small_setup):
+    """The end-to-end sweep (anonymize + attack at every level) on a reduced setup."""
+    sweep = benchmark.pedantic(run_sweep, args=(small_setup,), rounds=1, iterations=1)
+    assert len(sweep.levels) == len(small_setup.levels)
+    assert all(a < b for a, b in zip(sweep.after, sweep.before))
+
+
+def test_figure4_before_fusion(benchmark, paper_sweep):
+    """Figure 4: dissimilarity before fusion (P o P') vs k — nearly flat."""
+    figure = benchmark(run_figure4, paper_sweep)
+    series = figure.series["P o P' (without Q)"]
+    spread = (max(series) - min(series)) / max(series)
+    assert spread < 0.05
+    benchmark.extra_info["k"] = paper_sweep.levels
+    benchmark.extra_info["P_o_Pprime"] = [round(v) for v in series]
+
+
+def test_figure5_after_fusion(benchmark, paper_sweep):
+    """Figure 5: dissimilarity after fusion (P o P^) vs k — below Figure 4, rising."""
+    figure = benchmark(run_figure5, paper_sweep)
+    series = figure.series["P o P^ (with Q)"]
+    assert all(a < b for a, b in zip(series, paper_sweep.before))
+    assert series[-1] >= series[0]
+    benchmark.extra_info["k"] = paper_sweep.levels
+    benchmark.extra_info["P_o_Phat"] = [round(v) for v in series]
+
+
+def test_figure6_information_gain(benchmark, paper_sweep):
+    """Figure 6: information gain G vs k — positive, not growing with k."""
+    figure = benchmark(run_figure6, paper_sweep)
+    series = figure.series["Information Gain (G)"]
+    assert min(series) > 0
+    assert series[-1] <= series[0]
+    benchmark.extra_info["k"] = paper_sweep.levels
+    benchmark.extra_info["G"] = [round(v) for v in series]
+
+
+def test_figure7_utility(benchmark, paper_sweep):
+    """Figure 7: discernibility utility U_k vs k — decreasing."""
+    figure = benchmark(run_figure7, paper_sweep)
+    series = figure.series["Utility (U)"]
+    assert series[-1] < series[0]
+    benchmark.extra_info["k"] = paper_sweep.levels
+    benchmark.extra_info["U"] = [f"{v:.6f}" for v in series]
+
+
+def test_figure8_weighted_objective(benchmark, paper_sweep):
+    """Figure 8: H over the feasible band (Tp/Tu derived from the sweep), optimum inside."""
+    figure = benchmark(run_figure8, paper_sweep)
+    band = [int(x) for x in figure.x]
+    optimal_k = int(figure.notes.rsplit("optimal k=", 1)[1])
+    assert optimal_k in band
+    assert min(band) > paper_sweep.levels[0]
+    thresholds = derive_thresholds(paper_sweep)
+    benchmark.extra_info["Tp"] = f"{thresholds[0]:.4g}"
+    benchmark.extra_info["Tu"] = f"{thresholds[1]:.6g}"
+    benchmark.extra_info["band"] = band
+    benchmark.extra_info["H"] = [f"{v:.4f}" for v in figure.series["H"]]
+    benchmark.extra_info["optimal_k"] = optimal_k

@@ -1,0 +1,43 @@
+"""Benchmarks of the FRED optimizer (Algorithm 1) and its building blocks."""
+
+from __future__ import annotations
+
+from repro.anonymize.mdav import MDAVAnonymizer
+from repro.core.fred import FREDAnonymizer, FREDConfig
+from repro.core.objective import WeightedObjective
+from repro.experiments.figures import derive_thresholds
+from repro.fusion.attack import WebFusionAttack
+
+
+def test_mdav_anonymization(benchmark, paper_setup):
+    """Basic_Anonymization(P, level): one MDAV run at k=8 on the faculty data."""
+    private = paper_setup.population.private
+    result = benchmark(MDAVAnonymizer().anonymize, private, 8)
+    assert result.minimum_class_size >= 8
+
+
+def test_fusion_attack_single_release(benchmark, paper_setup):
+    """One simulated web-based information-fusion attack on a k=8 release."""
+    private = paper_setup.population.private
+    release = MDAVAnonymizer().anonymize(private, 8).release
+    attack = WebFusionAttack(paper_setup.corpus, paper_setup.attack_config)
+    result = benchmark(attack.run, release)
+    assert result.estimates.shape == (private.num_rows,)
+
+
+def test_fred_end_to_end(benchmark, paper_sweep):
+    """Algorithm 1 end to end with thresholds derived as in the paper."""
+    setup = paper_sweep.setup
+    protection_threshold, utility_threshold = derive_thresholds(paper_sweep)
+    config = FREDConfig(
+        levels=setup.levels,
+        protection_threshold=protection_threshold,
+        utility_threshold=utility_threshold,
+        objective=WeightedObjective(0.5, 0.5),
+        stop_below_utility=False,
+    )
+    fred = FREDAnonymizer(setup.corpus, setup.attack_config, config)
+    result = benchmark.pedantic(fred.run, args=(setup.population.private,), rounds=1, iterations=1)
+    assert result.optimal_level in result.feasible_levels()
+    benchmark.extra_info["feasible_band"] = result.feasible_levels()
+    benchmark.extra_info["optimal_k"] = result.optimal_level

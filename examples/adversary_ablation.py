@@ -1,0 +1,136 @@
+"""Adversary ablation: how much does each ingredient of the attack matter?
+
+The paper's attack has three ingredients: the anonymized release, the web
+auxiliary channel, and the fusion engine.  This example ablates each one on
+the financial-customer population:
+
+* fusion engine — Mamdani (paper) vs Sugeno vs an unsupervised rank-scaling
+  estimator vs the midpoint guess (no information);
+* web channel quality — full coverage / noisy / mostly missing;
+* rule source — hand-written domain rules vs automatically induced monotone
+  rules.
+
+Run with::
+
+    python examples/adversary_ablation.py
+"""
+
+from __future__ import annotations
+
+from repro import MDAVAnonymizer
+from repro.data import generate_customers
+from repro.data.customers import CustomerConfig
+from repro.data.webgen import corpus_for_customers
+from repro.fusion import (
+    AttackConfig,
+    MidpointEstimator,
+    RankScalingEstimator,
+    WebFusionAttack,
+)
+from repro.metrics import mean_absolute_error, rank_correlation, root_mean_square_error
+
+RELEASE_INPUTS = ("invst_vol", "invst_amt", "valuation")
+AUX_INPUTS = ("property_holdings", "employment_seniority")
+INPUT_RANGES = {
+    "invst_vol": (1.0, 10.0),
+    "invst_amt": (1.0, 10.0),
+    "valuation": (1.0, 10.0),
+    "property_holdings": (100.0, 6_200.0),
+    "employment_seniority": (0.0, 40.0),
+}
+
+DOMAIN_RULES = [
+    "IF valuation IS high AND property_holdings IS high THEN income IS high",
+    "IF valuation IS low AND property_holdings IS low THEN income IS low",
+    "IF invst_amt IS high AND employment_seniority IS high THEN income IS high",
+    "IF invst_vol IS medium THEN income IS medium",
+    "IF valuation IS medium THEN income IS medium",
+    "IF property_holdings IS low AND invst_amt IS low THEN income IS low",
+]
+
+
+def attack_config(**overrides: object) -> AttackConfig:
+    """The shared attack configuration with per-ablation overrides."""
+    base: dict[str, object] = {
+        "release_inputs": RELEASE_INPUTS,
+        "auxiliary_inputs": AUX_INPUTS,
+        "output_name": "income",
+        "output_universe": (40_000.0, 160_000.0),
+        "input_ranges": INPUT_RANGES,
+        "engine": "mamdani",
+    }
+    base.update(overrides)
+    return AttackConfig(**base)  # type: ignore[arg-type]
+
+
+def main() -> None:
+    population = generate_customers(CustomerConfig(count=300, seed=11))
+    private = population.private
+    truth = private.sensitive_vector()
+    release = MDAVAnonymizer().anonymize(private, k=5).release
+    corpus = corpus_for_customers(population)
+
+    print("=== Fusion engine ablation (k = 5 release, same web corpus) ===")
+    engines = {
+        "mamdani (paper)": attack_config(engine="mamdani"),
+        "sugeno": attack_config(engine="sugeno"),
+        "rank scaling": attack_config(
+            engine="custom",
+            estimator=RankScalingEstimator(
+                feature_names=RELEASE_INPUTS + AUX_INPUTS,
+                output_universe=(40_000.0, 160_000.0),
+            ),
+        ),
+        "midpoint guess": attack_config(
+            engine="custom",
+            estimator=MidpointEstimator(output_universe=(40_000.0, 160_000.0)),
+        ),
+    }
+    print(f"{'engine':<18} {'RMSE($)':>12} {'MAE($)':>12} {'rank corr':>10}")
+    for label, config in engines.items():
+        estimates = WebFusionAttack(corpus, config).run(release).estimates
+        print(
+            f"{label:<18} {root_mean_square_error(truth, estimates):>12,.0f} "
+            f"{mean_absolute_error(truth, estimates):>12,.0f} "
+            f"{rank_correlation(truth, estimates):>10.2f}"
+        )
+    print()
+
+    print("=== Web channel quality ablation (Mamdani engine) ===")
+    channels = {
+        "clean, full coverage": corpus_for_customers(population, noise_level=0.0, coverage=1.0),
+        "default (noisy)": corpus,
+        "very noisy": corpus_for_customers(population, noise_level=0.4, coverage=0.9),
+        "sparse (30% coverage)": corpus_for_customers(population, coverage=0.3),
+    }
+    print(f"{'web channel':<24} {'match rate':>10} {'RMSE($)':>12} {'rank corr':>10}")
+    for label, channel in channels.items():
+        result = WebFusionAttack(channel, attack_config()).run(release)
+        print(
+            f"{label:<24} {result.match_rate:>10.0%} "
+            f"{root_mean_square_error(truth, result.estimates):>12,.0f} "
+            f"{rank_correlation(truth, result.estimates):>10.2f}"
+        )
+    print()
+
+    print("=== Rule source ablation (Mamdani engine, default web channel) ===")
+    rule_sources = {
+        "auto monotone rules": attack_config(),
+        "hand-written domain rules": attack_config(rule_texts=DOMAIN_RULES),
+    }
+    print(f"{'rule source':<28} {'RMSE($)':>12} {'rank corr':>10}")
+    for label, config in rule_sources.items():
+        estimates = WebFusionAttack(corpus, config).run(release).estimates
+        print(
+            f"{label:<28} {root_mean_square_error(truth, estimates):>12,.0f} "
+            f"{rank_correlation(truth, estimates):>10.2f}"
+        )
+    print()
+    print("Takeaway: the breach is not an artifact of the fuzzy engine — any")
+    print("reasonable fusion of the release with the web channel beats the")
+    print("no-information midpoint guess, and its quality tracks the quality of")
+    print("the auxiliary channel, exactly as the paper's threat model assumes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""Faculty salary attack: the paper's Section-VI experiment at full scale.
+
+This example rebuilds the paper's experimental setting (a university releases
+k-anonymized performance reviews with employee names; an insider fuses the
+release with faculty web pages to estimate salaries) on the synthetic faculty
+population, and quantifies how much the web channel is worth to the adversary
+at several anonymization levels.
+
+Run with::
+
+    python examples/faculty_salary_attack.py
+"""
+
+from __future__ import annotations
+
+from repro import MDAVAnonymizer
+from repro.data import corpus_for_faculty, generate_faculty
+from repro.data.faculty import FacultyConfig
+from repro.fusion import AttackConfig, WebFusionAttack
+from repro.metrics import (
+    breach_rate,
+    dissimilarity_after_fusion,
+    dissimilarity_before_fusion,
+    mean_absolute_error,
+    rank_correlation,
+)
+
+
+def main() -> None:
+    population = generate_faculty(FacultyConfig(count=60, seed=13))
+    private = population.private
+    corpus = corpus_for_faculty(population)
+    print(f"Faculty population: {private.num_rows} records")
+    print(f"Simulated web corpus: {corpus.size} pages "
+          f"(coverage of the faculty: {corpus.coverage_of([str(n) for n in private.identifier_column()]):.0%})")
+    print()
+
+    config = AttackConfig(
+        release_inputs=(
+            "research_score",
+            "teaching_score",
+            "service_score",
+            "years_of_service",
+        ),
+        auxiliary_inputs=("property_holdings", "employment_seniority"),
+        output_name="salary",
+        output_universe=population.assumed_salary_range,
+        input_ranges={
+            "research_score": (1.0, 10.0),
+            "teaching_score": (1.0, 10.0),
+            "service_score": (1.0, 10.0),
+            "years_of_service": (0.0, 40.0),
+            "employment_seniority": (0.0, 45.0),
+            "property_holdings": (100_000.0, 900_000.0),
+        },
+        engine="mamdani",
+    )
+
+    truth = private.sensitive_vector()
+    print(f"{'k':>3} {'P o P_before':>14} {'P o P_after':>14} {'gain':>12} "
+          f"{'MAE($)':>10} {'breach@10%':>10} {'rank corr':>9}")
+    for k in (2, 4, 8, 12, 16):
+        anonymization = MDAVAnonymizer().anonymize(private, k)
+        release = anonymization.release
+        attack = WebFusionAttack(corpus, config)
+        result = attack.run(release)
+
+        before = dissimilarity_before_fusion(
+            private, release, population.assumed_salary_range
+        )
+        after = dissimilarity_after_fusion(private, release, result.estimates)
+        print(
+            f"{k:>3} {before:>14.4g} {after:>14.4g} {before - after:>12.4g} "
+            f"{mean_absolute_error(truth, result.estimates):>10,.0f} "
+            f"{breach_rate(truth, result.estimates, tolerance=0.10):>10.0%} "
+            f"{rank_correlation(truth, result.estimates):>9.2f}"
+        )
+
+    print()
+    print("The dissimilarity after fusion stays well below the before-fusion value")
+    print("at every k: whatever the anonymization level, the web channel hands the")
+    print("adversary a strictly better estimate of the salaries — the paper's core claim.")
+
+    # Show what the adversary actually sees for one person.
+    release = MDAVAnonymizer().anonymize(private, 8).release
+    attack = WebFusionAttack(corpus, config)
+    result = attack.run(release)
+    name = str(release.identifier_column()[0])
+    pages = corpus.search(name)
+    print()
+    print(f"What the adversary sees for {name!r}:")
+    print(f"  release row : {release.row(0)}")
+    if pages:
+        print(f"  web page    : {pages[0].source} (linkage confidence {pages[0].confidence:.2f})")
+        print(f"  harvested   : {dict(pages[0].attributes)}")
+    print(f"  estimate    : ${result.estimates[0]:,.0f}  (true: ${truth[0]:,.0f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,119 @@
+"""Quickstart: the paper's Section-I walkthrough on the 4-customer example.
+
+This script reproduces the narrative of the paper's introduction end to end:
+
+1. start from the enterprise customer database (Table II) — identifiers,
+   investment indices, customer valuation and the sensitive personal income;
+2. k-anonymize the quasi-identifiers and drop the income column to obtain the
+   internal release (Table III);
+3. play the insider adversary: use the customer names in the release to search
+   a (simulated) web for auxiliary data (Table IV), fuse the release with the
+   harvested attributes through a fuzzy inference system, and estimate every
+   customer's income;
+4. compare the estimates with the true incomes the release was supposed to
+   protect.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import MDAVAnonymizer
+from repro.data import adversary_auxiliary_example, enterprise_customers_example
+from repro.fusion import AttackConfig, SimulatedWebCorpus, WebFusionAttack
+from repro.metrics import breach_rate, rank_correlation, relative_errors
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ step 1
+    private = enterprise_customers_example()
+    print("Enterprise data (Table II) — what the institution holds:")
+    print(private.to_text())
+    print()
+
+    # ------------------------------------------------------------------ step 2
+    anonymization = MDAVAnonymizer().anonymize(private, k=2)
+    release = anonymization.release
+    print("Anonymized internal release (Table III) — income removed, QIs generalized:")
+    print(release.to_text())
+    print()
+
+    # ------------------------------------------------------------------ step 3
+    # The simulated web: one page per customer exposing employment and property
+    # holdings (the auxiliary data of Table IV).
+    auxiliary = adversary_auxiliary_example()
+    profiles = [
+        {
+            "name": row["name"],
+            "position": row["employment"],
+            "property_holdings": float(row["property_holdings"]),
+        }
+        for row in auxiliary.rows()
+    ]
+    web = SimulatedWebCorpus.from_profiles(
+        profiles=profiles,
+        attribute_names=("property_holdings",),
+        noise_level=0.0,
+        coverage=1.0,
+        name_variant_probability=0.0,
+        seed=1,
+    )
+
+    config = AttackConfig(
+        release_inputs=("invst_vol", "invst_amt", "valuation"),
+        auxiliary_inputs=("property_holdings",),
+        output_name="income",
+        output_universe=(40_000.0, 100_000.0),
+        # The adversary's domain knowledge of the income classes (Section I).
+        output_ranges={
+            "low": (40_000.0, 60_000.0),
+            "medium": (60_000.0, 80_000.0),
+            "high": (80_000.0, 100_000.0),
+        },
+        input_ranges={
+            "invst_vol": (1.0, 10.0),
+            "invst_amt": (1.0, 10.0),
+            "valuation": (1.0, 10.0),
+            "property_holdings": (500.0, 6_000.0),
+        },
+    )
+    attack = WebFusionAttack(web, config)
+    result = attack.run(release)
+
+    print("Auxiliary data harvested by the adversary (Table IV):")
+    print(result.auxiliary.to_text())
+    print()
+
+    # ------------------------------------------------------------------ step 4
+    truth = {str(row["name"]): float(row["income"]) for row in private.rows()}
+    names = [str(n) for n in release.identifier_column()]
+    true_values = [truth[name] for name in names]
+    estimates = list(result.estimates)
+
+    print("Adversary's income estimates vs the truth the release was meant to hide:")
+    print(f"{'customer':<12} {'estimated':>12} {'true':>12} {'rel. error':>10}")
+    for name, estimate, true_value, error in zip(
+        names, estimates, true_values, relative_errors(true_values, estimates)
+    ):
+        print(f"{name:<12} {estimate:>12,.0f} {true_value:>12,.0f} {error:>9.1%}")
+    print()
+    print(
+        f"breach rate (within 25% of the true income): "
+        f"{breach_rate(true_values, estimates, tolerance=0.25):.0%}"
+    )
+    print(
+        f"rank correlation between estimates and true incomes: "
+        f"{rank_correlation(true_values, estimates):.2f}"
+    )
+    print()
+    print(
+        "Even though the release dropped every income value, fusing it with a"
+        " handful of web facts recovers the income ordering and close estimates"
+        " for the extreme customers — the Web-Based Information-Fusion Attack."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environments this reproduction targets may lack the ``wheel``
+package needed by PEP 660 editable installs; keeping a ``setup.py`` allows
+``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
+``python setup.py develop``) to work there.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,78 @@
+"""K-anonymity predicates and equivalence-class extraction.
+
+These functions check the anonymity of a *release* (a table whose
+quasi-identifier cells may be generalized) independently of which algorithm
+produced it.  They are used by the test-suite invariants and by the
+:mod:`repro.metrics.utility` discernibility metric, which needs the class
+structure of a release.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Hashable
+
+from repro.anonymize.base import EquivalenceClass
+from repro.dataset.generalization import CategorySet, Interval, Suppressed
+from repro.dataset.table import Table
+
+__all__ = [
+    "quasi_identifier_signature",
+    "equivalence_classes_of_release",
+    "anonymity_level",
+    "is_k_anonymous",
+]
+
+
+def _cell_signature(value: object) -> Hashable:
+    """A hashable canonical form of a release cell."""
+    if isinstance(value, Interval):
+        return ("interval", value.low, value.high)
+    if isinstance(value, CategorySet):
+        return ("categories", value.members)
+    if isinstance(value, Suppressed):
+        return ("suppressed",)
+    if isinstance(value, float) and value.is_integer():
+        return ("value", int(value))
+    return ("value", value)
+
+
+def quasi_identifier_signature(table: Table, row_index: int) -> tuple[Hashable, ...]:
+    """The hashable quasi-identifier signature of one release row."""
+    return tuple(
+        _cell_signature(table.cell(row_index, name))
+        for name in table.schema.quasi_identifiers
+    )
+
+
+def equivalence_classes_of_release(release: Table) -> list[EquivalenceClass]:
+    """Group release rows by identical (generalized) quasi-identifier signatures."""
+    groups: dict[tuple[Hashable, ...], list[int]] = defaultdict(list)
+    for i in range(release.num_rows):
+        groups[quasi_identifier_signature(release, i)].append(i)
+    return [EquivalenceClass(tuple(indices)) for indices in groups.values()]
+
+
+def anonymity_level(release: Table) -> int:
+    """The k-anonymity level actually achieved by a release.
+
+    This is the size of the smallest equivalence class induced by the
+    generalized quasi-identifier signatures.  An empty release has level 0.
+    """
+    if release.num_rows == 0:
+        return 0
+    classes = equivalence_classes_of_release(release)
+    return min(c.size for c in classes)
+
+
+def is_k_anonymous(release: Table, k: int) -> bool:
+    """Whether the release satisfies k-anonymity for the given ``k``."""
+    if k <= 1:
+        return release.num_rows > 0 or k <= 0
+    return anonymity_level(release) >= k
+
+
+def class_size_histogram(release: Table) -> dict[int, int]:
+    """Histogram ``{class size: number of classes}`` of a release."""
+    classes = equivalence_classes_of_release(release)
+    return dict(Counter(c.size for c in classes))

@@ -1,0 +1,93 @@
+"""l-diversity predicates (Machanavajjhala et al., ICDE 2006).
+
+The paper discusses l-diversity as one of the partitioning-based refinements
+of k-anonymity ([4] in its bibliography): every equivalence class must contain
+at least ``l`` "well represented" sensitive values.  Two standard instantiations
+are provided:
+
+* **distinct l-diversity** — at least ``l`` distinct sensitive values per class;
+* **entropy l-diversity** — the entropy of the sensitive-value distribution in
+  every class is at least ``log(l)``.
+
+Because the paper's sensitive attribute (salary) is continuous, the sensitive
+values are first discretized into ``bins`` quantile bins, following the common
+practice for numeric sensitive attributes.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Sequence
+
+import numpy as np
+
+from repro.anonymize.base import AnonymizationResult, EquivalenceClass
+from repro.dataset.table import Table
+from repro.exceptions import MetricError
+
+__all__ = [
+    "discretize_sensitive",
+    "distinct_diversity",
+    "entropy_diversity",
+    "is_distinct_l_diverse",
+    "is_entropy_l_diverse",
+]
+
+
+def discretize_sensitive(table: Table, bins: int = 5) -> list[int]:
+    """Quantile-discretize the sensitive column into ``bins`` integer labels."""
+    if bins < 2:
+        raise MetricError("discretization requires at least 2 bins")
+    values = table.sensitive_vector()
+    if np.isnan(values).any():
+        raise MetricError("sensitive column contains missing values")
+    edges = np.quantile(values, np.linspace(0.0, 1.0, bins + 1)[1:-1])
+    return [int(np.searchsorted(edges, v, side="right")) for v in values]
+
+
+def _class_labels(
+    labels: Sequence[int], equivalence_class: EquivalenceClass
+) -> list[int]:
+    return [labels[i] for i in equivalence_class.indices]
+
+
+def distinct_diversity(labels: Sequence[int], classes: Sequence[EquivalenceClass]) -> int:
+    """Minimum number of distinct sensitive labels across all classes."""
+    if not classes:
+        raise MetricError("no equivalence classes supplied")
+    return min(len(set(_class_labels(labels, c))) for c in classes)
+
+
+def entropy_diversity(labels: Sequence[int], classes: Sequence[EquivalenceClass]) -> float:
+    """Minimum ``exp(entropy)`` of the sensitive distribution across classes.
+
+    A release is entropy l-diverse when this value is at least ``l``.
+    """
+    if not classes:
+        raise MetricError("no equivalence classes supplied")
+    worst = math.inf
+    for equivalence_class in classes:
+        counts = Counter(_class_labels(labels, equivalence_class))
+        total = sum(counts.values())
+        entropy = -sum(
+            (count / total) * math.log(count / total) for count in counts.values()
+        )
+        worst = min(worst, math.exp(entropy))
+    return worst
+
+
+def is_distinct_l_diverse(
+    result: AnonymizationResult, l: int, bins: int = 5
+) -> bool:
+    """Whether an anonymization satisfies distinct l-diversity."""
+    labels = discretize_sensitive(result.original, bins=bins)
+    return distinct_diversity(labels, result.classes) >= l
+
+
+def is_entropy_l_diverse(
+    result: AnonymizationResult, l: float, bins: int = 5
+) -> bool:
+    """Whether an anonymization satisfies entropy l-diversity."""
+    labels = discretize_sensitive(result.original, bins=bins)
+    return entropy_diversity(labels, result.classes) >= l

@@ -1,0 +1,104 @@
+"""MDAV microaggregation (Maximum Distance to Average Vector).
+
+The paper's experiments k-anonymize the non-sensitive attributes with
+"microaggregation based k-anonymization proposed in [9]" (Domingo-Ferrer &
+Mateo-Sanz).  MDAV is the canonical fixed-size microaggregation heuristic from
+that line of work:
+
+1. while at least ``3k`` records remain: compute the centroid of the remaining
+   records, take the record ``r`` farthest from the centroid and group it with
+   its ``k-1`` nearest neighbours; then take the record ``s`` farthest from
+   ``r`` among the records still remaining and group it with its ``k-1``
+   nearest neighbours;
+2. if between ``2k`` and ``3k-1`` records remain: form one group of ``k``
+   around the record farthest from the centroid, and a final group with the
+   rest;
+3. otherwise the remaining (``k`` to ``2k-1``) records form the last group.
+
+Distances are Euclidean over the column-standardized numeric quasi-identifier
+matrix.  All groups end up with between ``k`` and ``2k - 1`` records, the
+property the discernibility utility metric and the dissimilarity measure rely
+on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.anonymize.base import BaseAnonymizer, EquivalenceClass
+from repro.dataset.statistics import standardize_matrix
+from repro.dataset.table import Table
+from repro.exceptions import AnonymizationError
+
+__all__ = ["MDAVAnonymizer"]
+
+
+class MDAVAnonymizer(BaseAnonymizer):
+    """Fixed-group-size microaggregation over numeric quasi-identifiers."""
+
+    name = "mdav"
+
+    def __init__(self, release_style: str = "interval") -> None:
+        super().__init__(release_style=release_style)
+
+    def partition(self, table: Table, k: int) -> list[EquivalenceClass]:
+        matrix = table.quasi_identifier_matrix()
+        if np.isnan(matrix).any():
+            raise AnonymizationError(
+                "MDAV requires fully numeric quasi-identifiers without missing values"
+            )
+        standardized, _, _ = standardize_matrix(matrix)
+        groups = _mdav_groups(standardized, k)
+        return [EquivalenceClass(tuple(sorted(group))) for group in groups]
+
+
+def _sq_distances(points: np.ndarray, reference: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances from each row of ``points`` to ``reference``."""
+    deltas = points - reference
+    return np.einsum("ij,ij->i", deltas, deltas)
+
+
+def _take_group(points: np.ndarray, remaining: list[int], anchor_global: int, k: int) -> list[int]:
+    """Pop ``anchor`` and its ``k-1`` nearest records from ``remaining``."""
+    subset = points[remaining]
+    anchor_local = remaining.index(anchor_global)
+    distances = _sq_distances(subset, points[anchor_global])
+    distances[anchor_local] = -1.0  # ensure the anchor itself is selected first
+    order = np.argsort(distances, kind="stable")
+    chosen_locals = [int(i) for i in order[:k]]
+    group = [remaining[i] for i in chosen_locals]
+    for idx in group:
+        remaining.remove(idx)
+    return group
+
+
+def _farthest_from(points: np.ndarray, remaining: list[int], reference: np.ndarray) -> int:
+    """Global index of the remaining record farthest from ``reference``."""
+    subset = points[remaining]
+    local = int(np.argmax(_sq_distances(subset, reference)))
+    return remaining[local]
+
+
+def _mdav_groups(points: np.ndarray, k: int) -> list[list[int]]:
+    """Run the MDAV grouping loop over row vectors ``points``."""
+    remaining = list(range(points.shape[0]))
+    groups: list[list[int]] = []
+
+    while len(remaining) >= 3 * k:
+        centroid = points[remaining].mean(axis=0)
+        r_global = _farthest_from(points, remaining, centroid)
+        r_point = points[r_global].copy()
+        groups.append(_take_group(points, remaining, r_global, k))
+
+        s_global = _farthest_from(points, remaining, r_point)
+        groups.append(_take_group(points, remaining, s_global, k))
+
+    if len(remaining) >= 2 * k:
+        centroid = points[remaining].mean(axis=0)
+        r_global = _farthest_from(points, remaining, centroid)
+        groups.append(_take_group(points, remaining, r_global, k))
+
+    if remaining:
+        groups.append(list(remaining))
+
+    return groups

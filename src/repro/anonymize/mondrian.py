@@ -1,0 +1,87 @@
+"""Mondrian multidimensional k-anonymity (LeFevre, DeWitt & Ramakrishnan).
+
+Mondrian is the greedy top-down partitioning baseline cited by the paper
+([3] in its bibliography).  The algorithm recursively splits the record set on
+the median of the quasi-identifier with the widest (normalized) range, as long
+as both halves retain at least ``k`` records; leaves of the recursion become
+the equivalence classes.
+
+Compared with MDAV (the scheme used by the paper's experiments) Mondrian tends
+to produce classes of more uneven size, which is precisely why it is useful as
+an ablation baseline for the utility and protection curves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.anonymize.base import BaseAnonymizer, EquivalenceClass
+from repro.dataset.table import Table
+from repro.exceptions import AnonymizationError
+
+__all__ = ["MondrianAnonymizer"]
+
+
+class MondrianAnonymizer(BaseAnonymizer):
+    """Greedy median-split multidimensional partitioning."""
+
+    name = "mondrian"
+
+    def __init__(self, release_style: str = "interval", strict: bool = True) -> None:
+        """``strict`` partitioning forbids splitting a value across partitions."""
+        super().__init__(release_style=release_style)
+        self.strict = strict
+
+    def partition(self, table: Table, k: int) -> list[EquivalenceClass]:
+        matrix = table.quasi_identifier_matrix()
+        if np.isnan(matrix).any():
+            raise AnonymizationError(
+                "Mondrian requires fully numeric quasi-identifiers without missing values"
+            )
+        spans = matrix.max(axis=0) - matrix.min(axis=0)
+        spans = np.where(spans <= 0, 1.0, spans)
+        classes: list[EquivalenceClass] = []
+        self._split(matrix, spans, list(range(table.num_rows)), k, classes)
+        return classes
+
+    def _split(
+        self,
+        matrix: np.ndarray,
+        spans: np.ndarray,
+        indices: list[int],
+        k: int,
+        out: list[EquivalenceClass],
+    ) -> None:
+        if len(indices) < 2 * k:
+            out.append(EquivalenceClass(tuple(sorted(indices))))
+            return
+
+        subset = matrix[indices]
+        normalized_ranges = (subset.max(axis=0) - subset.min(axis=0)) / spans
+        for dimension in np.argsort(normalized_ranges)[::-1]:
+            dimension = int(dimension)
+            if normalized_ranges[dimension] <= 0:
+                break
+            left, right = self._partition_on(subset[:, dimension], indices, k)
+            if left and right:
+                self._split(matrix, spans, left, k, out)
+                self._split(matrix, spans, right, k, out)
+                return
+        out.append(EquivalenceClass(tuple(sorted(indices))))
+
+    def _partition_on(
+        self, values: np.ndarray, indices: list[int], k: int
+    ) -> tuple[list[int], list[int]]:
+        """Split ``indices`` at the median of ``values``; empty lists when invalid."""
+        median = float(np.median(values))
+        if self.strict:
+            left = [idx for idx, v in zip(indices, values) if v <= median]
+            right = [idx for idx, v in zip(indices, values) if v > median]
+        else:
+            order = np.argsort(values, kind="stable")
+            half = len(indices) // 2
+            left = [indices[int(i)] for i in order[:half]]
+            right = [indices[int(i)] for i in order[half:]]
+        if len(left) < k or len(right) < k:
+            return [], []
+        return left, right

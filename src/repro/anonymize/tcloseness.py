@@ -1,0 +1,62 @@
+"""t-closeness predicates (Li, Li & Venkatasubramanian, ICDE 2007).
+
+t-closeness ([7] in the paper's bibliography) requires the distribution of the
+sensitive attribute within every equivalence class to be close to its global
+distribution.  For a numeric sensitive attribute the distance between the two
+distributions is the Earth Mover's Distance over the ordered value domain,
+computed here with the standard "ordered distance" formulation on the
+discretized sensitive labels (cumulative-difference sum normalized by
+``bins - 1``).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+import numpy as np
+
+from repro.anonymize.base import AnonymizationResult, EquivalenceClass
+from repro.anonymize.ldiversity import discretize_sensitive
+from repro.exceptions import MetricError
+
+__all__ = ["ordered_emd", "closeness", "is_t_close"]
+
+
+def ordered_emd(class_counts: Counter, global_counts: Counter, bins: int) -> float:
+    """Earth Mover's Distance between two ordered categorical distributions."""
+    if bins < 2:
+        raise MetricError("ordered EMD requires at least 2 bins")
+    class_total = sum(class_counts.values())
+    global_total = sum(global_counts.values())
+    if class_total == 0 or global_total == 0:
+        raise MetricError("cannot compute EMD of an empty distribution")
+    class_probability = np.array([class_counts.get(b, 0) / class_total for b in range(bins)])
+    global_probability = np.array(
+        [global_counts.get(b, 0) / global_total for b in range(bins)]
+    )
+    cumulative = np.cumsum(class_probability - global_probability)
+    return float(np.sum(np.abs(cumulative[:-1])) / (bins - 1))
+
+
+def closeness(
+    labels: Sequence[int], classes: Sequence[EquivalenceClass], bins: int
+) -> float:
+    """Maximum EMD between any class distribution and the global distribution.
+
+    A release satisfies t-closeness when this value is at most ``t``.
+    """
+    if not classes:
+        raise MetricError("no equivalence classes supplied")
+    global_counts = Counter(labels)
+    worst = 0.0
+    for equivalence_class in classes:
+        class_counts = Counter(labels[i] for i in equivalence_class.indices)
+        worst = max(worst, ordered_emd(class_counts, global_counts, bins))
+    return worst
+
+
+def is_t_close(result: AnonymizationResult, t: float, bins: int = 5) -> bool:
+    """Whether an anonymization satisfies t-closeness with parameter ``t``."""
+    labels = discretize_sensitive(result.original, bins=bins)
+    return closeness(labels, result.classes, bins) <= t

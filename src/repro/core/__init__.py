@@ -1,0 +1,12 @@
+"""FRED core: the weighted objective and the Algorithm-1 optimizer."""
+
+from repro.core.fred import FREDAnonymizer, FREDConfig, FREDResult, LevelOutcome
+from repro.core.objective import WeightedObjective
+
+__all__ = [
+    "WeightedObjective",
+    "FREDConfig",
+    "FREDAnonymizer",
+    "FREDResult",
+    "LevelOutcome",
+]

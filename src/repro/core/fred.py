@@ -1,0 +1,271 @@
+"""FRED Anonymization — Fusion Resilient Enterprise Data Anonymization.
+
+This is the paper's primary algorithmic contribution (Algorithm 1, Figure 3).
+Given a private dataset ``P``, an auxiliary channel ``Q`` (the web) and a
+fusion system ``F``, FRED sweeps the anonymization level, *simulates the
+web-based information-fusion attack at every level*, and keeps the level that
+maximizes the weighted sum of protection and utility subject to a protection
+floor ``Tp`` and a utility floor ``Tu``::
+
+    find k*  maximizing  H_k = W1 * (P ∘ P̂_k) + W2 * U_k
+    subject to           (P ∘ P̂_k) >= Tp   and   U_k >= Tu
+
+The sweep ascends through the configured levels and — following the paper's
+do/until loop — stops as soon as the utility of a candidate release falls
+below ``Tu`` (higher levels can only be worse for utility).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.anonymize.base import AnonymizationResult, BaseAnonymizer
+from repro.anonymize.mdav import MDAVAnonymizer
+from repro.core.objective import WeightedObjective
+from repro.dataset.table import Table
+from repro.exceptions import FREDConfigurationError, FREDInfeasibleError
+from repro.fusion.attack import AttackConfig, AttackResult, WebFusionAttack
+from repro.fusion.auxiliary import AuxiliarySource
+from repro.metrics.dissimilarity import (
+    dissimilarity_after_fusion,
+    dissimilarity_before_fusion,
+)
+from repro.metrics.utility import utility_of_result
+
+__all__ = ["FREDConfig", "LevelOutcome", "FREDResult", "FREDAnonymizer"]
+
+
+@dataclass
+class FREDConfig:
+    """Configuration of a FRED sweep.
+
+    Parameters
+    ----------
+    levels:
+        The anonymization levels (values of ``k``) to sweep, in ascending
+        order.  The paper sweeps k = 2..16.
+    protection_threshold:
+        ``Tp`` — minimum post-fusion dissimilarity for a level to be a
+        candidate.  ``None`` disables the floor.
+    utility_threshold:
+        ``Tu`` — minimum release utility; the sweep stops once utility falls
+        below it.  ``None`` disables the floor (the full sweep is evaluated).
+    objective:
+        The weighted protection/utility objective (``W1``, ``W2``,
+        normalization).
+    anonymizer:
+        The basic anonymization scheme plugged into the sweep (MDAV by
+        default, as in the paper's experiments).
+    stop_below_utility:
+        Mirror the paper's do/until loop by stopping the sweep at the first
+        level whose utility drops below ``Tu``.  When False the whole sweep is
+        evaluated regardless.
+    """
+
+    levels: tuple[int, ...] = tuple(range(2, 17))
+    protection_threshold: float | None = None
+    utility_threshold: float | None = None
+    objective: WeightedObjective = field(default_factory=WeightedObjective)
+    anonymizer: BaseAnonymizer = field(default_factory=MDAVAnonymizer)
+    stop_below_utility: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise FREDConfigurationError("the FRED sweep needs at least one level")
+        if any(k < 1 for k in self.levels):
+            raise FREDConfigurationError("anonymization levels must be >= 1")
+        if list(self.levels) != sorted(self.levels):
+            raise FREDConfigurationError("anonymization levels must be ascending")
+        if len(set(self.levels)) != len(self.levels):
+            raise FREDConfigurationError("anonymization levels must be distinct")
+
+
+@dataclass
+class LevelOutcome:
+    """Everything FRED measured at one anonymization level."""
+
+    level: int
+    anonymization: AnonymizationResult
+    attack: AttackResult
+    protection_before: float
+    protection_after: float
+    information_gain: float
+    utility: float
+    meets_protection: bool
+    meets_utility: bool
+
+    @property
+    def feasible(self) -> bool:
+        """Whether the level satisfies both thresholds."""
+        return self.meets_protection and self.meets_utility
+
+
+@dataclass
+class FREDResult:
+    """The full trace of a FRED sweep plus the selected optimum."""
+
+    outcomes: list[LevelOutcome]
+    scores: dict[int, float]
+    optimal_level: int
+    config: FREDConfig
+
+    @property
+    def optimal_outcome(self) -> LevelOutcome:
+        """The outcome at the selected optimal level."""
+        for outcome in self.outcomes:
+            if outcome.level == self.optimal_level:
+                return outcome
+        raise FREDInfeasibleError("the optimal level is missing from the sweep trace")
+
+    @property
+    def optimal_release(self) -> Table:
+        """The fusion-resilient release ``P'_{i_opt}``."""
+        return self.optimal_outcome.anonymization.release
+
+    def feasible_levels(self) -> list[int]:
+        """Levels satisfying both thresholds (the paper's "solution space")."""
+        return [outcome.level for outcome in self.outcomes if outcome.feasible]
+
+    def series(self, name: str) -> list[float]:
+        """A per-level series by name, for plotting/reporting.
+
+        Known names: ``protection_before``, ``protection_after``,
+        ``information_gain``, ``utility``, ``score``.
+        """
+        if name == "score":
+            return [self.scores[outcome.level] for outcome in self.outcomes]
+        if name not in (
+            "protection_before",
+            "protection_after",
+            "information_gain",
+            "utility",
+        ):
+            raise FREDConfigurationError(f"unknown series {name!r}")
+        return [getattr(outcome, name) for outcome in self.outcomes]
+
+    def summary(self) -> str:
+        """Multi-line text report of the sweep (one row per level)."""
+        lines = [
+            "level  P∘P'(before)   P∘P̂(after)    gain G        utility U     H        feasible"
+        ]
+        for outcome in self.outcomes:
+            lines.append(
+                f"{outcome.level:>5}  {outcome.protection_before:>12.4g}  "
+                f"{outcome.protection_after:>12.4g}  {outcome.information_gain:>12.4g}  "
+                f"{outcome.utility:>12.4g}  {self.scores[outcome.level]:>7.4f}  "
+                f"{'yes' if outcome.feasible else 'no'}"
+            )
+        lines.append(f"optimal level: k = {self.optimal_level}")
+        return "\n".join(lines)
+
+
+class FREDAnonymizer:
+    """Algorithm 1: iterative fusion-resilient anonymization.
+
+    Parameters
+    ----------
+    source:
+        The auxiliary channel ``Q`` the simulated adversary harvests from.
+    attack_config:
+        Configuration of the simulated fusion attack ``F`` (which inputs to
+        fuse, assumed sensitive range, rules, engine).
+    config:
+        Sweep configuration (levels, thresholds, weights, base anonymizer).
+    attack_factory:
+        Optional override that builds the attack object for each level;
+        defaults to ``WebFusionAttack(source, attack_config)``.  Useful for
+        injecting custom adversaries in ablations.
+    """
+
+    def __init__(
+        self,
+        source: AuxiliarySource,
+        attack_config: AttackConfig,
+        config: FREDConfig | None = None,
+        attack_factory: Callable[[], WebFusionAttack] | None = None,
+    ) -> None:
+        self.source = source
+        self.attack_config = attack_config
+        self.config = config or FREDConfig()
+        self._attack_factory = attack_factory or (
+            lambda: WebFusionAttack(self.source, self.attack_config)
+        )
+
+    # Single-level evaluation -----------------------------------------------------
+
+    def evaluate_level(self, private: Table, level: int) -> LevelOutcome:
+        """Anonymize to one level, simulate the attack, and measure everything."""
+        anonymization = self.config.anonymizer.anonymize(private, level)
+        attack = self._attack_factory().run(anonymization.release)
+        assumed_range = self.attack_config.output_universe
+        before = dissimilarity_before_fusion(
+            private, anonymization.release, assumed_range
+        )
+        after = dissimilarity_after_fusion(
+            private, anonymization.release, attack.estimates
+        )
+        utility = utility_of_result(anonymization)
+        meets_protection = (
+            self.config.protection_threshold is None
+            or after >= self.config.protection_threshold
+        )
+        meets_utility = (
+            self.config.utility_threshold is None
+            or utility >= self.config.utility_threshold
+        )
+        return LevelOutcome(
+            level=level,
+            anonymization=anonymization,
+            attack=attack,
+            protection_before=before,
+            protection_after=after,
+            information_gain=before - after,
+            utility=utility,
+            meets_protection=meets_protection,
+            meets_utility=meets_utility,
+        )
+
+    # Full sweep ------------------------------------------------------------------
+
+    def sweep(self, private: Table, levels: Iterable[int] | None = None) -> list[LevelOutcome]:
+        """Evaluate every level (honouring the utility stopping rule)."""
+        outcomes: list[LevelOutcome] = []
+        for level in levels if levels is not None else self.config.levels:
+            outcome = self.evaluate_level(private, level)
+            outcomes.append(outcome)
+            if (
+                self.config.stop_below_utility
+                and self.config.utility_threshold is not None
+                and outcome.utility < self.config.utility_threshold
+            ):
+                break
+        return outcomes
+
+    def run(self, private: Table) -> FREDResult:
+        """Execute the full FRED optimization and return the sweep trace."""
+        outcomes = self.sweep(private)
+        if not outcomes:
+            raise FREDInfeasibleError("the sweep evaluated no levels")
+
+        protections = np.array([o.protection_after for o in outcomes])
+        utilities = np.array([o.utility for o in outcomes])
+        scores = self.config.objective.scores(protections, utilities)
+        score_by_level = {o.level: float(s) for o, s in zip(outcomes, scores)}
+
+        feasible = [o for o in outcomes if o.feasible]
+        if not feasible:
+            raise FREDInfeasibleError(
+                "no anonymization level satisfies both the protection threshold "
+                f"(Tp={self.config.protection_threshold}) and the utility threshold "
+                f"(Tu={self.config.utility_threshold})"
+            )
+        optimal = max(feasible, key=lambda o: score_by_level[o.level])
+        return FREDResult(
+            outcomes=outcomes,
+            scores=score_by_level,
+            optimal_level=optimal.level,
+            config=self.config,
+        )

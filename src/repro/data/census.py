@@ -1,0 +1,124 @@
+"""Census-style dataset generator (Adult-like schema).
+
+The k-anonymity literature the paper builds on (Sweeney, LeFevre, Bayardo &
+Agrawal) evaluates on census microdata with quasi-identifiers such as age,
+education and hours worked.  Public census extracts are not bundled offline,
+so this generator produces a census-like population with the same statistical
+skeleton: demographic quasi-identifiers correlated with a sensitive annual
+income, plus explicit names so the enterprise-release setting of the paper
+still applies.  It is used by the cross-dataset tests and the anonymizer
+ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.names import generate_names
+from repro.dataset.schema import Attribute, AttributeKind, AttributeRole, Schema
+from repro.dataset.table import Table
+from repro.exceptions import ReproError
+
+__all__ = ["CensusConfig", "CensusPopulation", "generate_census"]
+
+
+@dataclass(frozen=True)
+class CensusConfig:
+    """Knobs of the census-like generator."""
+
+    count: int = 500
+    seed: int = 23
+
+    def __post_init__(self) -> None:
+        if self.count < 4:
+            raise ReproError("the census population needs at least 4 records")
+
+
+@dataclass
+class CensusPopulation:
+    """Census-like population: private table plus web-profile ground truth."""
+
+    private: Table
+    profiles: list[dict[str, object]]
+    config: CensusConfig
+    assumed_income_range: tuple[float, float]
+    auxiliary_attributes: tuple[str, ...] = ("home_value", "vehicle_count")
+
+
+def census_schema() -> Schema:
+    """Schema of the census-like private table."""
+    return Schema(
+        [
+            Attribute("name", AttributeRole.IDENTIFIER, AttributeKind.TEXT),
+            Attribute("age", AttributeRole.QUASI_IDENTIFIER),
+            Attribute("education_years", AttributeRole.QUASI_IDENTIFIER),
+            Attribute("hours_per_week", AttributeRole.QUASI_IDENTIFIER),
+            Attribute("occupation", AttributeRole.INSENSITIVE, AttributeKind.CATEGORICAL),
+            Attribute("income", AttributeRole.SENSITIVE),
+        ]
+    )
+
+
+_OCCUPATIONS = (
+    "Tech", "Sales", "Admin", "Craft", "Service", "Professional", "Transport",
+)
+
+
+def generate_census(config: CensusConfig | None = None) -> CensusPopulation:
+    """Generate the census-like population."""
+    config = config or CensusConfig()
+    rng = np.random.default_rng(config.seed)
+    names = generate_names(config.count, seed=config.seed + 5)
+
+    age = np.clip(np.round(rng.normal(42, 12, size=config.count)), 18, 80)
+    education = np.clip(np.round(rng.normal(13, 2.5, size=config.count)), 6, 20)
+    hours = np.clip(np.round(rng.normal(40, 9, size=config.count)), 10, 80)
+    occupation = rng.choice(_OCCUPATIONS, size=config.count)
+
+    income = (
+        12_000.0
+        + 1_900.0 * (education - 6)
+        + 450.0 * hours
+        + 220.0 * (age - 18)
+    ) * np.exp(rng.normal(0.0, 0.25, size=config.count))
+    income = np.round(income, 0)
+    income_rank = income.argsort(kind="stable").argsort(kind="stable") / max(config.count - 1, 1)
+
+    rows = []
+    for i in range(config.count):
+        rows.append(
+            {
+                "name": names[i],
+                "age": float(age[i]),
+                "education_years": float(education[i]),
+                "hours_per_week": float(hours[i]),
+                "occupation": str(occupation[i]),
+                "income": float(income[i]),
+            }
+        )
+    private = Table.from_rows(census_schema(), rows)
+
+    home_value = np.round(80_000 + 700_000 * (0.7 * income_rank + 0.3 * rng.uniform(0, 1, size=config.count)), -3)
+    vehicles = np.clip(np.round(0.5 + 3.5 * (0.6 * income_rank + 0.4 * rng.uniform(0, 1, size=config.count))), 0, 5)
+
+    profiles = []
+    for i in range(config.count):
+        profiles.append(
+            {
+                "name": names[i],
+                "home_value": float(home_value[i]),
+                "vehicle_count": float(vehicles[i]),
+                "position": str(occupation[i]),
+            }
+        )
+
+    low = float(np.floor(income.min() / 5_000.0) * 5_000.0)
+    high = float(np.ceil(income.max() / 5_000.0) * 5_000.0)
+    return CensusPopulation(
+        private=private,
+        profiles=profiles,
+        config=config,
+        assumed_income_range=(low, high),
+    )

@@ -1,0 +1,45 @@
+"""Tabular enterprise-database substrate (schemas, tables, generalization)."""
+
+from repro.dataset.generalization import (
+    SUPPRESSED,
+    CategorySet,
+    Interval,
+    Suppressed,
+    cover_values,
+    is_generalized,
+    numeric_representative,
+)
+from repro.dataset.hierarchy import GeneralizationHierarchy, NumericHierarchy, TaxonomyHierarchy
+from repro.dataset.io import read_csv, write_csv
+from repro.dataset.schema import Attribute, AttributeKind, AttributeRole, Schema
+from repro.dataset.statistics import (
+    ColumnSummary,
+    standardize_matrix,
+    summarize_column,
+    summarize_table,
+)
+from repro.dataset.table import Table
+
+__all__ = [
+    "Attribute",
+    "AttributeKind",
+    "AttributeRole",
+    "Schema",
+    "Table",
+    "Interval",
+    "CategorySet",
+    "Suppressed",
+    "SUPPRESSED",
+    "cover_values",
+    "is_generalized",
+    "numeric_representative",
+    "GeneralizationHierarchy",
+    "NumericHierarchy",
+    "TaxonomyHierarchy",
+    "read_csv",
+    "write_csv",
+    "ColumnSummary",
+    "summarize_column",
+    "summarize_table",
+    "standardize_matrix",
+]

@@ -1,0 +1,206 @@
+"""Generalization hierarchies (value generalization taxonomies).
+
+Full-domain generalization schemes in the k-anonymity literature (Samarati &
+Sweeney; Datafly) generalize each quasi-identifier along a *domain
+generalization hierarchy*: numeric attributes are binned into progressively
+wider ranges, categorical attributes are rolled up a taxonomy tree, and the
+top level of every hierarchy is total suppression (``*``).
+
+Two hierarchy types are provided:
+
+* :class:`NumericHierarchy` — level ``0`` is the exact value, level ``i`` bins
+  the domain into intervals of width ``base_width * branching**(i-1)``, and the
+  final level suppresses the value entirely.
+* :class:`TaxonomyHierarchy` — an explicit tree over categorical values; level
+  ``i`` maps a leaf to its ancestor ``i`` steps up (clamped at the root).
+
+These hierarchies power the :class:`repro.anonymize.datafly.DataflyAnonymizer`
+baseline; the paper's own experiments use microaggregation (MDAV), which does
+not need hierarchies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.dataset.generalization import SUPPRESSED, CategorySet, Interval
+from repro.exceptions import HierarchyError
+
+__all__ = [
+    "GeneralizationHierarchy",
+    "NumericHierarchy",
+    "TaxonomyHierarchy",
+]
+
+
+class GeneralizationHierarchy:
+    """Interface of a per-attribute generalization hierarchy."""
+
+    #: Number of generalization levels, including level 0 (exact value) and the
+    #: top suppression level.
+    levels: int
+
+    def generalize(self, value: object, level: int) -> object:
+        """Generalize ``value`` to ``level``.
+
+        Level ``0`` returns the value unchanged; the maximum level returns
+        :data:`~repro.dataset.generalization.SUPPRESSED`.
+        """
+        raise NotImplementedError
+
+    def _check_level(self, level: int) -> None:
+        if not 0 <= level < self.levels:
+            raise HierarchyError(
+                f"generalization level {level} out of range [0, {self.levels - 1}]"
+            )
+
+
+@dataclass
+class NumericHierarchy(GeneralizationHierarchy):
+    """Interval-binning hierarchy for numeric attributes.
+
+    Parameters
+    ----------
+    low, high:
+        Domain bounds.  Values outside the domain are clamped into it before
+        binning (real data occasionally exceeds the declared domain).
+    base_width:
+        Bin width at level 1.
+    branching:
+        Factor by which the bin width grows per additional level.
+    levels:
+        Total number of levels including level 0 (exact) and the top
+        suppression level.  Must be at least 2.
+    """
+
+    low: float
+    high: float
+    base_width: float
+    branching: int = 2
+    levels: int = 5
+
+    def __post_init__(self) -> None:
+        if self.high <= self.low:
+            raise HierarchyError("numeric hierarchy requires high > low")
+        if self.base_width <= 0:
+            raise HierarchyError("base_width must be positive")
+        if self.branching < 2:
+            raise HierarchyError("branching factor must be >= 2")
+        if self.levels < 2:
+            raise HierarchyError("a hierarchy needs at least 2 levels (exact + suppressed)")
+
+    def width_at(self, level: int) -> float:
+        """Bin width used at ``level`` (level >= 1)."""
+        self._check_level(level)
+        if level == 0:
+            return 0.0
+        return self.base_width * (self.branching ** (level - 1))
+
+    def generalize(self, value: object, level: int) -> object:
+        self._check_level(level)
+        if level == 0:
+            return value
+        if level == self.levels - 1:
+            return SUPPRESSED
+        numeric = float(value)  # type: ignore[arg-type]
+        numeric = min(max(numeric, self.low), self.high)
+        width = self.width_at(level)
+        bin_index = math.floor((numeric - self.low) / width)
+        bin_low = self.low + bin_index * width
+        bin_high = min(bin_low + width, self.high)
+        if bin_low >= bin_high:  # value sits exactly on the top edge
+            bin_low = max(self.low, self.high - width)
+            bin_high = self.high
+        return Interval(bin_low, bin_high)
+
+
+@dataclass
+class TaxonomyHierarchy(GeneralizationHierarchy):
+    """Tree-based hierarchy for categorical attributes.
+
+    The taxonomy is given as a ``child -> parent`` mapping; the (single) root
+    is the value that never appears as a key or whose parent is itself.  Level
+    ``i`` maps a value to its ancestor ``i`` steps up the tree; the maximum
+    level suppresses the value.
+
+    Generalized values are rendered as :class:`CategorySet` instances whose
+    label is the ancestor's name and whose members are the leaves under it.
+    """
+
+    parents: Mapping[str, str]
+    levels: int = 0
+    _depths: dict[str, int] = field(init=False, default_factory=dict, repr=False)
+    _leaves_under: dict[str, tuple[str, ...]] = field(init=False, default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.parents:
+            raise HierarchyError("taxonomy hierarchy requires a non-empty parent map")
+        self._validate_acyclic()
+        max_depth = max(self._depth(node) for node in self.parents)
+        # levels: 0 = exact ... max_depth = root, +1 = suppressed
+        if self.levels <= 0:
+            self.levels = max_depth + 2
+        self._index_leaves()
+
+    # Internal helpers ---------------------------------------------------------
+
+    def _validate_acyclic(self) -> None:
+        for start in self.parents:
+            seen = {start}
+            node = start
+            while node in self.parents and self.parents[node] != node:
+                node = self.parents[node]
+                if node in seen:
+                    raise HierarchyError(f"taxonomy contains a cycle through {node!r}")
+                seen.add(node)
+
+    def _depth(self, node: str) -> int:
+        depth = 0
+        while node in self.parents and self.parents[node] != node:
+            node = self.parents[node]
+            depth += 1
+        return depth
+
+    def _ancestor(self, node: str, steps: int) -> str:
+        for _ in range(steps):
+            if node not in self.parents or self.parents[node] == node:
+                break
+            node = self.parents[node]
+        return node
+
+    def _index_leaves(self) -> None:
+        children: dict[str, list[str]] = {}
+        for child, parent in self.parents.items():
+            children.setdefault(parent, []).append(child)
+        all_nodes = set(self.parents) | set(self.parents.values())
+        leaves = [n for n in all_nodes if n not in children]
+
+        def leaves_under(node: str) -> tuple[str, ...]:
+            if node in leaves:
+                return (node,)
+            collected: list[str] = []
+            for child in children.get(node, []):
+                collected.extend(leaves_under(child))
+            return tuple(sorted(collected))
+
+        for node in all_nodes:
+            self._leaves_under[node] = leaves_under(node)
+
+    # Public API ----------------------------------------------------------------
+
+    def generalize(self, value: object, level: int) -> object:
+        self._check_level(level)
+        text = str(value)
+        if level == 0:
+            return value
+        if level == self.levels - 1:
+            return SUPPRESSED
+        if text not in self.parents and text not in self._leaves_under:
+            raise HierarchyError(f"value {text!r} is not part of the taxonomy")
+        ancestor = self._ancestor(text, level)
+        if ancestor == text:
+            return value
+        members: Sequence[str] = self._leaves_under.get(ancestor, (ancestor,))
+        return CategorySet(members, label=ancestor)

@@ -1,0 +1,112 @@
+"""CSV persistence for :class:`~repro.dataset.table.Table`.
+
+The file format is ordinary CSV with a two-line header: the first line holds
+the column names, the second line holds ``role:kind`` declarations so that a
+round-tripped file reconstructs the same schema.  Generalized cells are
+rendered with the paper's textual syntax (``[5-10]``, ``*``) and parsed back.
+"""
+
+from __future__ import annotations
+
+import csv
+import re
+from pathlib import Path
+from typing import Iterable
+
+from repro.dataset.generalization import SUPPRESSED, CategorySet, Interval
+from repro.dataset.schema import Attribute, AttributeKind, AttributeRole, Schema
+from repro.dataset.table import Table
+from repro.exceptions import TableError
+
+__all__ = ["write_csv", "read_csv", "parse_cell", "render_cell"]
+
+_INTERVAL_RE = re.compile(r"^\[(?P<low>-?\d+(?:\.\d+)?)-(?P<high>-?\d+(?:\.\d+)?)\]$")
+_CATEGORY_RE = re.compile(r"^\{(?P<members>.+)\}$")
+_NUMBER_RE = re.compile(r"^-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?$")
+
+
+def render_cell(value: object) -> str:
+    """Render a single cell to its CSV text form."""
+    if value is None:
+        return ""
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def parse_cell(text: str, kind: AttributeKind) -> object:
+    """Parse a CSV cell back into a Python value or generalized cell."""
+    text = text.strip()
+    if text == "":
+        return None
+    if text == "*":
+        return SUPPRESSED
+    interval_match = _INTERVAL_RE.match(text)
+    if interval_match:
+        return Interval(float(interval_match.group("low")), float(interval_match.group("high")))
+    category_match = _CATEGORY_RE.match(text)
+    if category_match:
+        members = [m.strip() for m in category_match.group("members").split(",")]
+        return CategorySet(members)
+    if kind is AttributeKind.NUMERIC and _NUMBER_RE.match(text):
+        value = float(text)
+        return int(value) if value.is_integer() else value
+    return text
+
+
+def write_csv(table: Table, path: str | Path) -> Path:
+    """Write ``table`` to ``path`` and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.schema.names)
+        writer.writerow(
+            [f"{attr.role.value}:{attr.kind.value}" for attr in table.schema.attributes]
+        )
+        for row in table.rows():
+            writer.writerow([render_cell(row[name]) for name in table.schema.names])
+    return path
+
+
+def read_csv(path: str | Path) -> Table:
+    """Read a table previously written by :func:`write_csv`."""
+    path = Path(path)
+    with path.open("r", newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        try:
+            names = next(reader)
+            declarations = next(reader)
+        except StopIteration as exc:
+            raise TableError(f"CSV file {path} is missing its two header lines") from exc
+        if len(declarations) != len(names):
+            raise TableError(
+                f"CSV header mismatch in {path}: {len(names)} names, {len(declarations)} declarations"
+            )
+        attributes = []
+        for name, declaration in zip(names, declarations):
+            try:
+                role_text, kind_text = declaration.split(":")
+                attributes.append(
+                    Attribute(name, AttributeRole(role_text), AttributeKind(kind_text))
+                )
+            except ValueError as exc:
+                raise TableError(
+                    f"invalid role:kind declaration {declaration!r} for column {name!r}"
+                ) from exc
+        schema = Schema(attributes)
+        rows: list[dict[str, object]] = []
+        for line_number, row in enumerate(reader, start=3):
+            if not row:
+                continue
+            if len(row) != len(names):
+                raise TableError(
+                    f"line {line_number} of {path} has {len(row)} cells, expected {len(names)}"
+                )
+            rows.append(
+                {
+                    name: parse_cell(cell, schema[name].kind)
+                    for name, cell in zip(names, row)
+                }
+            )
+    return Table.from_rows(schema, rows)

@@ -1,0 +1,331 @@
+"""Column-oriented in-memory table, the substrate every subsystem operates on.
+
+The reproduction does not depend on pandas; instead this module provides a
+small, well-tested, column-oriented :class:`Table` with exactly the operations
+the paper's pipeline needs:
+
+* schema-aware construction (identifier / quasi-identifier / sensitive roles);
+* row and column access, projection, row selection, joins on a key column;
+* extraction of the numeric quasi-identifier block as a ``numpy`` matrix
+  (generalized cells are resolved to their numeric representative — interval
+  midpoints — which is exactly the information an adversary has);
+* derivation of the *enterprise release* (keep identifiers, generalize
+  quasi-identifiers, drop the sensitive column).
+
+Tables are value-semantics objects: every operation returns a new table, and
+columns handed to the constructor are copied.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.dataset.generalization import numeric_representative, value_to_text
+from repro.dataset.schema import Attribute, AttributeKind, AttributeRole, Schema
+from repro.exceptions import SchemaError, TableError
+
+__all__ = ["Table"]
+
+
+class Table:
+    """An immutable, schema-aware, column-oriented table.
+
+    Parameters
+    ----------
+    schema:
+        The :class:`~repro.dataset.schema.Schema` describing the columns.
+    columns:
+        Mapping of column name to a sequence of values.  Every schema
+        attribute must be present and all columns must share the same length.
+    """
+
+    def __init__(self, schema: Schema, columns: Mapping[str, Sequence[object]]) -> None:
+        self._schema = schema
+        missing = [name for name in schema.names if name not in columns]
+        if missing:
+            raise TableError(f"missing columns for schema attributes: {missing}")
+        extra = [name for name in columns if name not in schema]
+        if extra:
+            raise TableError(f"columns not declared in schema: {extra}")
+
+        lengths = {name: len(columns[name]) for name in schema.names}
+        if len(set(lengths.values())) > 1:
+            raise TableError(f"columns have inconsistent lengths: {lengths}")
+
+        self._columns: dict[str, list[object]] = {
+            name: list(columns[name]) for name in schema.names
+        }
+        self._num_rows = next(iter(lengths.values())) if lengths else 0
+
+    # Construction helpers ------------------------------------------------------
+
+    @classmethod
+    def from_rows(cls, schema: Schema, rows: Iterable[Sequence[object] | Mapping[str, object]]) -> "Table":
+        """Build a table from an iterable of rows (sequences or mappings)."""
+        columns: dict[str, list[object]] = {name: [] for name in schema.names}
+        for row in rows:
+            if isinstance(row, Mapping):
+                for name in schema.names:
+                    if name not in row:
+                        raise TableError(f"row is missing column {name!r}: {row!r}")
+                    columns[name].append(row[name])
+            else:
+                values = list(row)
+                if len(values) != len(schema.names):
+                    raise TableError(
+                        f"row has {len(values)} values, schema has {len(schema.names)} columns"
+                    )
+                for name, value in zip(schema.names, values):
+                    columns[name].append(value)
+        return cls(schema, columns)
+
+    @classmethod
+    def from_records(cls, schema: Schema, records: Iterable[Mapping[str, object]]) -> "Table":
+        """Alias of :meth:`from_rows` restricted to mapping rows."""
+        return cls.from_rows(schema, records)
+
+    # Basic protocol ------------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        """The table schema."""
+        return self._schema
+
+    @property
+    def num_rows(self) -> int:
+        """Number of rows."""
+        return self._num_rows
+
+    @property
+    def num_columns(self) -> int:
+        """Number of columns."""
+        return len(self._schema)
+
+    def __len__(self) -> int:
+        return self._num_rows
+
+    def __iter__(self) -> Iterator[dict[str, object]]:
+        return iter(self.rows())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        return self._schema.names == other._schema.names and self._columns == other._columns
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Table(rows={self.num_rows}, columns={list(self._schema.names)})"
+
+    # Access ---------------------------------------------------------------------
+
+    def column(self, name: str) -> list[object]:
+        """A copy of the values of column ``name``."""
+        if name not in self._columns:
+            raise TableError(f"unknown column: {name!r}")
+        return list(self._columns[name])
+
+    def numeric_column(self, name: str) -> np.ndarray:
+        """Column ``name`` as a float array, resolving generalized cells.
+
+        Intervals map to their midpoints; suppressed / categorical cells map
+        to ``nan``.
+        """
+        return np.array([numeric_representative(v) for v in self.column(name)], dtype=float)
+
+    def row(self, index: int) -> dict[str, object]:
+        """Row ``index`` as a ``{column: value}`` dict."""
+        if not 0 <= index < self._num_rows:
+            raise TableError(f"row index {index} out of range [0, {self._num_rows})")
+        return {name: self._columns[name][index] for name in self._schema.names}
+
+    def rows(self) -> list[dict[str, object]]:
+        """All rows as dicts (in row order)."""
+        return [self.row(i) for i in range(self._num_rows)]
+
+    def cell(self, index: int, name: str) -> object:
+        """The single cell at (``index``, ``name``)."""
+        if name not in self._columns:
+            raise TableError(f"unknown column: {name!r}")
+        if not 0 <= index < self._num_rows:
+            raise TableError(f"row index {index} out of range [0, {self._num_rows})")
+        return self._columns[name][index]
+
+    # Relational operations --------------------------------------------------------
+
+    def project(self, names: Sequence[str]) -> "Table":
+        """Keep only the columns in ``names`` (schema roles are preserved)."""
+        schema = self._schema.project(names)
+        return Table(schema, {name: self._columns[name] for name in names})
+
+    def drop_columns(self, names: Sequence[str]) -> "Table":
+        """Drop the columns in ``names``."""
+        schema = self._schema.drop(names)
+        return Table(schema, {name: self._columns[name] for name in schema.names})
+
+    def select(self, predicate: Callable[[dict[str, object]], bool]) -> "Table":
+        """Rows for which ``predicate(row_dict)`` is truthy."""
+        keep = [i for i in range(self._num_rows) if predicate(self.row(i))]
+        return self.take(keep)
+
+    def take(self, indices: Sequence[int]) -> "Table":
+        """Rows at ``indices`` in the given order."""
+        for i in indices:
+            if not 0 <= i < self._num_rows:
+                raise TableError(f"row index {i} out of range [0, {self._num_rows})")
+        columns = {
+            name: [self._columns[name][i] for i in indices] for name in self._schema.names
+        }
+        return Table(self._schema, columns)
+
+    def sort_by(self, name: str, reverse: bool = False) -> "Table":
+        """Rows sorted by column ``name``."""
+        column = self.column(name)
+        order = sorted(range(self._num_rows), key=lambda i: column[i], reverse=reverse)
+        return self.take(order)
+
+    def with_column(self, attribute: Attribute, values: Sequence[object]) -> "Table":
+        """A new table with an extra column appended."""
+        if attribute.name in self._schema:
+            raise TableError(f"column {attribute.name!r} already exists")
+        if len(values) != self._num_rows:
+            raise TableError(
+                f"new column has {len(values)} values, table has {self._num_rows} rows"
+            )
+        schema = Schema(list(self._schema.attributes) + [attribute])
+        columns = dict(self._columns)
+        columns[attribute.name] = list(values)
+        return Table(schema, columns)
+
+    def replace_column(self, name: str, values: Sequence[object]) -> "Table":
+        """A new table with column ``name`` replaced by ``values``."""
+        if name not in self._schema:
+            raise TableError(f"unknown column: {name!r}")
+        if len(values) != self._num_rows:
+            raise TableError(
+                f"replacement column has {len(values)} values, table has {self._num_rows} rows"
+            )
+        columns = dict(self._columns)
+        columns[name] = list(values)
+        return Table(self._schema, columns)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Table":
+        """A new table with columns renamed according to ``mapping``."""
+        attributes = []
+        columns: dict[str, list[object]] = {}
+        for attribute in self._schema.attributes:
+            new_name = mapping.get(attribute.name, attribute.name)
+            attributes.append(
+                Attribute(new_name, attribute.role, attribute.kind, attribute.description)
+            )
+            columns[new_name] = self._columns[attribute.name]
+        return Table(Schema(attributes), columns)
+
+    def join(self, other: "Table", on: str, how: str = "inner") -> "Table":
+        """Join two tables on equality of column ``on``.
+
+        Only ``inner`` and ``left`` joins are supported; the right table must
+        have unique join keys (this is how the adversary attaches auxiliary web
+        attributes to release records).  Missing right-side values in a left
+        join are ``None``.
+        """
+        if how not in ("inner", "left"):
+            raise TableError(f"unsupported join type: {how!r}")
+        if on not in self._schema or on not in other._schema:
+            raise TableError(f"join column {on!r} must exist in both tables")
+
+        right_keys = other.column(on)
+        if len(set(right_keys)) != len(right_keys):
+            raise TableError(f"right table join keys on {on!r} are not unique")
+        right_index = {key: i for i, key in enumerate(right_keys)}
+
+        right_only = [a for a in other._schema.attributes if a.name != on]
+        clashing = [a.name for a in right_only if a.name in self._schema]
+        if clashing:
+            raise TableError(f"join would duplicate columns: {clashing}")
+
+        joined_schema = Schema(list(self._schema.attributes) + right_only)
+        columns: dict[str, list[object]] = {name: [] for name in joined_schema.names}
+        for i in range(self._num_rows):
+            key = self._columns[on][i]
+            if key not in right_index and how == "inner":
+                continue
+            for name in self._schema.names:
+                columns[name].append(self._columns[name][i])
+            if key in right_index:
+                j = right_index[key]
+                for attribute in right_only:
+                    columns[attribute.name].append(other._columns[attribute.name][j])
+            else:
+                for attribute in right_only:
+                    columns[attribute.name].append(None)
+        return Table(joined_schema, columns)
+
+    def concat(self, other: "Table") -> "Table":
+        """Vertical concatenation of two tables with identical schemas."""
+        if self._schema.names != other._schema.names:
+            raise TableError("cannot concatenate tables with different schemas")
+        columns = {
+            name: self._columns[name] + other._columns[name] for name in self._schema.names
+        }
+        return Table(self._schema, columns)
+
+    # Privacy-specific views --------------------------------------------------------
+
+    def quasi_identifier_matrix(self) -> np.ndarray:
+        """The numeric quasi-identifier block as a ``(rows, qi)`` float matrix.
+
+        Categorical quasi-identifiers are excluded; generalized numeric cells
+        resolve to interval midpoints (``nan`` when suppressed).
+        """
+        names = self._schema.numeric_quasi_identifiers
+        if not names:
+            raise SchemaError("table has no numeric quasi-identifier columns")
+        return np.column_stack([self.numeric_column(name) for name in names])
+
+    def sensitive_vector(self) -> np.ndarray:
+        """The (single) sensitive column as a float vector."""
+        return self.numeric_column(self._schema.sensitive_attribute)
+
+    def identifier_column(self) -> list[object]:
+        """The first identifier column (the 'Name' column of the paper)."""
+        identifiers = self._schema.identifiers
+        if not identifiers:
+            raise SchemaError("table has no identifier column")
+        return self.column(identifiers[0])
+
+    def release_view(self, keep_sensitive: bool = False) -> "Table":
+        """The enterprise-release view: identifiers + quasi-identifiers.
+
+        The sensitive column is dropped unless ``keep_sensitive`` is set.  Note
+        this does **not** anonymize the quasi-identifiers; anonymizers in
+        :mod:`repro.anonymize` produce generalized releases from this view.
+        """
+        schema = self._schema.release_schema(keep_sensitive=keep_sensitive)
+        return self.project(list(schema.names))
+
+    # Rendering -----------------------------------------------------------------------
+
+    def to_text(self, max_rows: int | None = 20) -> str:
+        """ASCII rendering of the table (used by the experiment harness)."""
+        names = list(self._schema.names)
+        limit = self._num_rows if max_rows is None else min(max_rows, self._num_rows)
+        rendered_rows = [
+            [value_to_text(self._columns[name][i]) for name in names] for i in range(limit)
+        ]
+        widths = [
+            max(len(name), *(len(row[j]) for row in rendered_rows)) if rendered_rows else len(name)
+            for j, name in enumerate(names)
+        ]
+        header = " | ".join(name.ljust(widths[j]) for j, name in enumerate(names))
+        separator = "-+-".join("-" * w for w in widths)
+        lines = [header, separator]
+        for row in rendered_rows:
+            lines.append(" | ".join(cell.ljust(widths[j]) for j, cell in enumerate(row)))
+        if limit < self._num_rows:
+            lines.append(f"... ({self._num_rows - limit} more rows)")
+        return "\n".join(lines)
+
+    def to_records(self) -> list[dict[str, object]]:
+        """All rows as dicts; alias of :meth:`rows` for IO symmetry."""
+        return self.rows()

@@ -1,0 +1,105 @@
+"""Markdown rendering of reproduced experiments.
+
+Turns the figure/table results of :mod:`repro.experiments.figures` and
+:mod:`repro.experiments.tables` into the Markdown sections used to build
+``EXPERIMENTS.md``, including the paper-vs-measured shape checklist.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.experiments.figures import FigureResult, SweepData
+from repro.experiments.tables import TableResult
+
+__all__ = ["figure_to_markdown", "table_to_markdown", "sweep_shape_checks", "render_report"]
+
+
+def figure_to_markdown(figure: FigureResult) -> str:
+    """One figure as a Markdown section with a data table."""
+    lines = [f"### {figure.figure_id.capitalize()}: {figure.title}", ""]
+    names = list(figure.series)
+    header = "| " + figure.x_label + " | " + " | ".join(names) + " |"
+    separator = "|" + "---|" * (len(names) + 1)
+    lines.extend([header, separator])
+    for i, x in enumerate(figure.x):
+        cells = " | ".join(f"{figure.series[name][i]:.6g}" for name in names)
+        lines.append(f"| {x:g} | {cells} |")
+    if figure.notes:
+        lines.extend(["", f"*{figure.notes}*"])
+    lines.append("")
+    return "\n".join(lines)
+
+
+def table_to_markdown(result: TableResult) -> str:
+    """One paper table as a Markdown section."""
+    table = result.table
+    names = list(table.schema.names)
+    lines = [f"### {result.table_id.capitalize()}: {result.title}", ""]
+    lines.append("| " + " | ".join(names) + " |")
+    lines.append("|" + "---|" * len(names))
+    for row in table.rows():
+        lines.append("| " + " | ".join(str(row[name]) for name in names) + " |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def sweep_shape_checks(sweep: SweepData) -> list[tuple[str, bool]]:
+    """The paper's qualitative claims evaluated on a measured sweep."""
+    before = sweep.before
+    after = sweep.after
+    gain = sweep.gain
+    utility = sweep.utility
+    checks = [
+        (
+            "fusion always helps the adversary: (P o P^) < (P o P') at every k",
+            all(a < b for a, b in zip(after, before)),
+        ),
+        (
+            "information gain G is positive at every k",
+            all(g > 0 for g in gain),
+        ),
+        (
+            "information gain does not grow with k (G at kmax <= G at kmin)",
+            gain[-1] <= gain[0],
+        ),
+        (
+            "utility decreases with k (U at kmax < U at kmin)",
+            utility[-1] < utility[0],
+        ),
+        (
+            "post-fusion dissimilarity does not decrease with k overall",
+            after[-1] >= after[0],
+        ),
+    ]
+    return checks
+
+
+def render_report(
+    figures: Mapping[str, FigureResult],
+    tables: Mapping[str, TableResult],
+    sweep: SweepData,
+) -> str:
+    """The full Markdown report used to build EXPERIMENTS.md."""
+    lines = [
+        "# Reproduced experiments",
+        "",
+        "All figures are regenerated from one sweep over the anonymization level",
+        "k (MDAV microaggregation of the synthetic faculty dataset, web-based",
+        "information-fusion attack simulated at every level).",
+        "",
+        "## Shape checks (paper claim vs measured)",
+        "",
+    ]
+    for description, passed in sweep_shape_checks(sweep):
+        lines.append(f"- [{'x' if passed else ' '}] {description}")
+    lines.append("")
+    lines.append("## Tables")
+    lines.append("")
+    for result in tables.values():
+        lines.append(table_to_markdown(result))
+    lines.append("## Figures")
+    lines.append("")
+    for figure in figures.values():
+        lines.append(figure_to_markdown(figure))
+    return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""One-call experiment runner.
+
+``python -m repro.experiments.runner`` regenerates every table and figure of
+the paper's evaluation, prints the text renderings, and (optionally) writes
+the Markdown report consumed by ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.experiments.figures import (
+    ExperimentSetup,
+    FigureResult,
+    SweepData,
+    default_setup,
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    run_figure8,
+    run_sweep,
+)
+from repro.experiments.report import render_report, sweep_shape_checks
+from repro.experiments.tables import TableResult, run_all_tables
+
+__all__ = ["ExperimentReport", "run_all", "main"]
+
+
+@dataclass
+class ExperimentReport:
+    """All reproduced artifacts of the paper's evaluation."""
+
+    sweep: SweepData
+    figures: dict[str, FigureResult]
+    tables: dict[str, TableResult]
+
+    def to_markdown(self) -> str:
+        """Markdown rendering (the body of EXPERIMENTS.md)."""
+        return render_report(self.figures, self.tables, self.sweep)
+
+    def shape_checks(self) -> list[tuple[str, bool]]:
+        """The paper's qualitative claims evaluated on the measured sweep."""
+        return sweep_shape_checks(self.sweep)
+
+
+def run_all(setup: ExperimentSetup | None = None) -> ExperimentReport:
+    """Regenerate every table and figure from one sweep."""
+    sweep = run_sweep(setup or default_setup())
+    figures = {
+        "figure4": run_figure4(sweep),
+        "figure5": run_figure5(sweep),
+        "figure6": run_figure6(sweep),
+        "figure7": run_figure7(sweep),
+        "figure8": run_figure8(sweep),
+    }
+    tables = run_all_tables()
+    return ExperimentReport(sweep=sweep, figures=figures, tables=tables)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(description="Reproduce the paper's tables and figures")
+    parser.add_argument("--count", type=int, default=60, help="faculty population size")
+    parser.add_argument("--seed", type=int, default=13, help="population / corpus seed")
+    parser.add_argument("--kmax", type=int, default=16, help="largest anonymization level")
+    parser.add_argument(
+        "--output", type=Path, default=None, help="write the Markdown report to this path"
+    )
+    arguments = parser.parse_args(argv)
+
+    setup = default_setup(
+        count=arguments.count,
+        seed=arguments.seed,
+        levels=tuple(range(2, arguments.kmax + 1)),
+    )
+    report = run_all(setup)
+
+    for result in report.tables.values():
+        print(result.to_text())
+        print()
+    for figure in report.figures.values():
+        print(figure.to_text())
+        print()
+    print("Shape checks:")
+    for description, passed in report.shape_checks():
+        print(f"  [{'PASS' if passed else 'FAIL'}] {description}")
+
+    if arguments.output is not None:
+        arguments.output.write_text(report.to_markdown(), encoding="utf-8")
+        print(f"\nwrote {arguments.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI shim
+    raise SystemExit(main())

@@ -1,0 +1,131 @@
+"""Auxiliary-data source abstraction.
+
+The auxiliary data ``Q`` of the paper is whatever the adversary can gather
+about the individuals named in the release — web pages, blogs, property
+records.  The :class:`AuxiliarySource` interface abstracts over such channels
+so that the attack pipeline can be exercised against the simulated web corpus
+(:mod:`repro.fusion.web`), a CSV of scraped attributes, or any custom source.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.dataset.schema import Attribute, AttributeKind, AttributeRole, Schema
+from repro.dataset.table import Table
+from repro.exceptions import AuxiliarySourceError
+
+__all__ = ["AuxiliaryRecord", "AuxiliarySource", "TableAuxiliarySource", "auxiliary_table"]
+
+
+@dataclass(frozen=True)
+class AuxiliaryRecord:
+    """One person's auxiliary attributes as harvested from a source.
+
+    Attributes
+    ----------
+    name:
+        The name under which the record was found (the web page owner).
+    attributes:
+        Harvested attribute values keyed by attribute name (e.g.
+        ``{"employment_seniority": 8, "property_holdings": 3560}``).
+    confidence:
+        The source's own confidence that the record belongs to the queried
+        person (linkage score, search ranking, ...), in ``[0, 1]``.
+    source:
+        Free-text provenance (page URL, index name, ...).
+    """
+
+    name: str
+    attributes: Mapping[str, float | str]
+    confidence: float = 1.0
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.confidence <= 1.0:
+            raise AuxiliarySourceError(
+                f"confidence must lie in [0, 1], got {self.confidence}"
+            )
+
+    def numeric_attribute(self, name: str) -> float | None:
+        """A numeric attribute value, or ``None`` if absent / non-numeric."""
+        value = self.attributes.get(name)
+        if value is None or isinstance(value, str):
+            return None
+        return float(value)
+
+
+class AuxiliarySource(abc.ABC):
+    """A channel from which the adversary can harvest auxiliary records."""
+
+    #: Names of the numeric attributes this source can provide.
+    attribute_names: tuple[str, ...] = ()
+
+    @abc.abstractmethod
+    def search(self, name: str) -> list[AuxiliaryRecord]:
+        """Records plausibly describing the person called ``name`` (best first)."""
+
+    def lookup(self, name: str) -> AuxiliaryRecord | None:
+        """The best record for ``name``, or ``None`` when nothing is found."""
+        records = self.search(name)
+        return records[0] if records else None
+
+
+@dataclass
+class TableAuxiliarySource(AuxiliarySource):
+    """An auxiliary source backed by an in-memory table keyed by a name column.
+
+    Useful for loading previously harvested auxiliary data from CSV (via
+    :func:`repro.dataset.io.read_csv`) and replaying an attack offline.
+    """
+
+    table: Table
+    name_column: str
+    attribute_names: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.name_column not in self.table.schema:
+            raise AuxiliarySourceError(
+                f"name column {self.name_column!r} not present in the auxiliary table"
+            )
+        if not self.attribute_names:
+            self.attribute_names = tuple(
+                attribute.name
+                for attribute in self.table.schema.attributes
+                if attribute.name != self.name_column and attribute.is_numeric
+            )
+        self._by_name = {
+            str(row[self.name_column]): row for row in self.table.rows()
+        }
+
+    def search(self, name: str) -> list[AuxiliaryRecord]:
+        row = self._by_name.get(str(name))
+        if row is None:
+            return []
+        attributes = {
+            attribute_name: row[attribute_name]
+            for attribute_name in self.attribute_names
+            if row.get(attribute_name) is not None
+        }
+        return [AuxiliaryRecord(name=str(name), attributes=attributes, source="table")]
+
+
+def auxiliary_table(records: Sequence[AuxiliaryRecord], attribute_names: Sequence[str]) -> Table:
+    """Materialize harvested auxiliary records as a :class:`Table` (paper Table IV).
+
+    Missing attributes are stored as ``None``; the name column is an identifier
+    so the resulting table can be joined with the release on names.
+    """
+    schema = Schema(
+        [Attribute("name", AttributeRole.IDENTIFIER, AttributeKind.TEXT)]
+        + [Attribute(name, AttributeRole.QUASI_IDENTIFIER) for name in attribute_names]
+    )
+    rows = []
+    for record in records:
+        row: dict[str, object] = {"name": record.name}
+        for name in attribute_names:
+            row[name] = record.attributes.get(name)
+        rows.append(row)
+    return Table.from_rows(schema, rows)

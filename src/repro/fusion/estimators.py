@@ -1,0 +1,216 @@
+"""Non-fuzzy estimators of the sensitive attribute.
+
+The paper's fusion system is a fuzzy inference engine; to judge how much of
+the breach comes from the *fusion idea* rather than from the particular
+engine, the benchmarks compare it against simpler estimators operating on the
+same merged inputs (release quasi-identifiers + harvested web attributes):
+
+* :class:`MidpointEstimator` — always guesses the middle of the assumed
+  sensitive range (the zero-information floor);
+* :class:`RankScalingEstimator` — unsupervised: each record's average
+  percentile rank across the available inputs is scaled onto the assumed
+  sensitive range.  Like the fuzzy system it needs no labeled data, only the
+  ordinal "bigger inputs, bigger income" assumption;
+* :class:`LinearRegressionEstimator` — least squares on a leaked labeled
+  sample (an adversary who knows a few true salaries);
+* :class:`KNNEstimator` — k-nearest-neighbour regression on the same sample.
+
+All estimators consume a list of ``{input name: value-or-None}`` records so
+they are drop-in replacements for the fuzzy engines inside
+:class:`repro.fusion.attack.WebFusionAttack`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Protocol, Sequence
+
+import numpy as np
+
+from repro.exceptions import AttackConfigurationError
+
+__all__ = [
+    "SensitiveEstimator",
+    "MidpointEstimator",
+    "RankScalingEstimator",
+    "LinearRegressionEstimator",
+    "KNNEstimator",
+    "records_to_matrix",
+]
+
+
+class SensitiveEstimator(Protocol):
+    """Anything that can turn merged fusion inputs into sensitive-value estimates."""
+
+    def evaluate_batch(self, records: Sequence[Mapping[str, float | None]]) -> np.ndarray:
+        """Estimates for each record, in order."""
+        ...  # pragma: no cover - protocol
+
+
+def records_to_matrix(
+    records: Sequence[Mapping[str, float | None]], feature_names: Sequence[str]
+) -> np.ndarray:
+    """Stack records into a ``(n, features)`` matrix with NaN for missing values."""
+    matrix = np.full((len(records), len(feature_names)), np.nan, dtype=float)
+    for i, record in enumerate(records):
+        for j, name in enumerate(feature_names):
+            value = record.get(name)
+            if value is not None and not (isinstance(value, float) and np.isnan(value)):
+                matrix[i, j] = float(value)
+    return matrix
+
+
+@dataclass
+class MidpointEstimator:
+    """Always predicts the midpoint of the assumed sensitive range."""
+
+    output_universe: tuple[float, float]
+
+    def evaluate_batch(self, records: Sequence[Mapping[str, float | None]]) -> np.ndarray:
+        midpoint = (self.output_universe[0] + self.output_universe[1]) / 2.0
+        return np.full(len(records), midpoint, dtype=float)
+
+
+@dataclass
+class RankScalingEstimator:
+    """Unsupervised rank-average estimator.
+
+    Each available feature value is converted to its percentile rank within the
+    batch (reversed for features whose ``direction`` is -1); a record's score is
+    the mean rank of its available features, and the estimate is that score
+    scaled linearly onto ``output_universe``.  Records with no available
+    features fall back to the range midpoint.
+    """
+
+    feature_names: tuple[str, ...]
+    output_universe: tuple[float, float]
+    directions: Mapping[str, int] = field(default_factory=dict)
+
+    def evaluate_batch(self, records: Sequence[Mapping[str, float | None]]) -> np.ndarray:
+        if not records:
+            return np.array([], dtype=float)
+        matrix = records_to_matrix(records, self.feature_names)
+        n = matrix.shape[0]
+        ranks = np.full_like(matrix, np.nan)
+        for j, name in enumerate(self.feature_names):
+            column = matrix[:, j]
+            available = ~np.isnan(column)
+            if available.sum() <= 1:
+                ranks[available, j] = 0.5
+                continue
+            order = column[available].argsort(kind="stable").argsort(kind="stable")
+            normalized = order / (available.sum() - 1)
+            if self.directions.get(name, 1) < 0:
+                normalized = 1.0 - normalized
+            ranks[available, j] = normalized
+        low, high = self.output_universe
+        midpoint = (low + high) / 2.0
+        estimates = np.full(n, midpoint, dtype=float)
+        available_counts = (~np.isnan(ranks)).sum(axis=1)
+        rank_sums = np.nansum(np.nan_to_num(ranks, nan=0.0), axis=1)
+        has_data = available_counts > 0
+        mean_rank = np.zeros(n, dtype=float)
+        mean_rank[has_data] = rank_sums[has_data] / available_counts[has_data]
+        estimates[has_data] = low + mean_rank[has_data] * (high - low)
+        return estimates
+
+
+@dataclass
+class LinearRegressionEstimator:
+    """Ordinary least squares on a leaked labeled sample.
+
+    Missing feature values are imputed with the training-set column means both
+    at fit and at prediction time.
+    """
+
+    feature_names: tuple[str, ...]
+    output_universe: tuple[float, float]
+    _coefficients: np.ndarray | None = field(init=False, default=None, repr=False)
+    _column_means: np.ndarray | None = field(init=False, default=None, repr=False)
+
+    def fit(
+        self,
+        records: Sequence[Mapping[str, float | None]],
+        targets: Sequence[float],
+    ) -> "LinearRegressionEstimator":
+        """Fit the model; returns ``self`` for chaining."""
+        if len(records) != len(targets):
+            raise AttackConfigurationError("records and targets must have equal length")
+        if len(records) < 2:
+            raise AttackConfigurationError("linear regression needs at least 2 labeled examples")
+        matrix = records_to_matrix(records, self.feature_names)
+        self._column_means = np.nanmean(
+            np.where(np.isnan(matrix), np.nan, matrix), axis=0
+        )
+        self._column_means = np.nan_to_num(self._column_means, nan=0.0)
+        matrix = self._impute(matrix)
+        design = np.column_stack([np.ones(matrix.shape[0]), matrix])
+        solution, *_ = np.linalg.lstsq(design, np.asarray(targets, dtype=float), rcond=None)
+        self._coefficients = solution
+        return self
+
+    def _impute(self, matrix: np.ndarray) -> np.ndarray:
+        filled = matrix.copy()
+        rows, cols = np.where(np.isnan(filled))
+        filled[rows, cols] = self._column_means[cols]
+        return filled
+
+    def evaluate_batch(self, records: Sequence[Mapping[str, float | None]]) -> np.ndarray:
+        if self._coefficients is None:
+            raise AttackConfigurationError("call fit() before evaluate_batch()")
+        matrix = self._impute(records_to_matrix(records, self.feature_names))
+        design = np.column_stack([np.ones(matrix.shape[0]), matrix])
+        predictions = design @ self._coefficients
+        return np.clip(predictions, self.output_universe[0], self.output_universe[1])
+
+
+@dataclass
+class KNNEstimator:
+    """k-nearest-neighbour regression on a leaked labeled sample."""
+
+    feature_names: tuple[str, ...]
+    output_universe: tuple[float, float]
+    neighbors: int = 3
+    _train_matrix: np.ndarray | None = field(init=False, default=None, repr=False)
+    _train_targets: np.ndarray | None = field(init=False, default=None, repr=False)
+    _column_means: np.ndarray | None = field(init=False, default=None, repr=False)
+    _column_stds: np.ndarray | None = field(init=False, default=None, repr=False)
+
+    def fit(
+        self,
+        records: Sequence[Mapping[str, float | None]],
+        targets: Sequence[float],
+    ) -> "KNNEstimator":
+        """Fit (memorize and standardize) the training sample."""
+        if self.neighbors < 1:
+            raise AttackConfigurationError("neighbors must be >= 1")
+        if len(records) != len(targets):
+            raise AttackConfigurationError("records and targets must have equal length")
+        if len(records) < self.neighbors:
+            raise AttackConfigurationError(
+                f"need at least {self.neighbors} labeled examples, got {len(records)}"
+            )
+        matrix = records_to_matrix(records, self.feature_names)
+        self._column_means = np.nan_to_num(np.nanmean(matrix, axis=0), nan=0.0)
+        stds = np.nan_to_num(np.nanstd(matrix, axis=0), nan=1.0)
+        self._column_stds = np.where(stds <= 0.0, 1.0, stds)
+        self._train_matrix = self._standardize(matrix)
+        self._train_targets = np.asarray(targets, dtype=float)
+        return self
+
+    def _standardize(self, matrix: np.ndarray) -> np.ndarray:
+        filled = matrix.copy()
+        rows, cols = np.where(np.isnan(filled))
+        filled[rows, cols] = self._column_means[cols]
+        return (filled - self._column_means) / self._column_stds
+
+    def evaluate_batch(self, records: Sequence[Mapping[str, float | None]]) -> np.ndarray:
+        if self._train_matrix is None or self._train_targets is None:
+            raise AttackConfigurationError("call fit() before evaluate_batch()")
+        queries = self._standardize(records_to_matrix(records, self.feature_names))
+        estimates = np.empty(queries.shape[0], dtype=float)
+        for i, query in enumerate(queries):
+            distances = np.sqrt(((self._train_matrix - query) ** 2).sum(axis=1))
+            nearest = np.argsort(distances, kind="stable")[: self.neighbors]
+            estimates[i] = float(self._train_targets[nearest].mean())
+        return np.clip(estimates, self.output_universe[0], self.output_universe[1])

@@ -1,0 +1,234 @@
+"""Record linkage between release identifiers and web auxiliary records.
+
+The adversary "uses the customer names present in the release to search for
+additional information about the customers available on the web".  Names found
+on the web rarely match the enterprise database verbatim (initials, swapped
+order, typos, titles), so the attack needs approximate string matching.  This
+module implements the standard machinery from scratch:
+
+* name normalization (case folding, punctuation and title stripping);
+* Levenshtein edit distance and similarity;
+* Jaro and Jaro-Winkler similarity;
+* token-set similarity (order-insensitive comparison of name parts);
+* a :class:`NameMatcher` combining them, with first-letter blocking so the
+  comparison stays near-linear on larger corpora.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.exceptions import LinkageError
+
+__all__ = [
+    "normalize_name",
+    "levenshtein_distance",
+    "levenshtein_similarity",
+    "jaro_similarity",
+    "jaro_winkler_similarity",
+    "token_set_similarity",
+    "name_similarity",
+    "MatchCandidate",
+    "NameMatcher",
+]
+
+_TITLES = {"dr", "prof", "professor", "mr", "mrs", "ms", "phd", "jr", "sr", "ii", "iii"}
+_NON_ALPHA = re.compile(r"[^a-z\s]")
+_WHITESPACE = re.compile(r"\s+")
+
+
+def normalize_name(name: str) -> str:
+    """Lower-case a name, strip punctuation, titles and redundant whitespace."""
+    text = _NON_ALPHA.sub(" ", str(name).lower())
+    tokens = [t for t in _WHITESPACE.split(text) if t and t not in _TITLES]
+    return " ".join(tokens)
+
+
+def levenshtein_distance(left: str, right: str) -> int:
+    """Classic dynamic-programming edit distance (insert/delete/substitute)."""
+    if left == right:
+        return 0
+    if not left:
+        return len(right)
+    if not right:
+        return len(left)
+    previous = list(range(len(right) + 1))
+    for i, left_char in enumerate(left, start=1):
+        current = [i]
+        for j, right_char in enumerate(right, start=1):
+            cost = 0 if left_char == right_char else 1
+            current.append(min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost))
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_similarity(left: str, right: str) -> float:
+    """Edit distance normalized into a ``[0, 1]`` similarity."""
+    if not left and not right:
+        return 1.0
+    longest = max(len(left), len(right))
+    return 1.0 - levenshtein_distance(left, right) / longest
+
+
+def jaro_similarity(left: str, right: str) -> float:
+    """Jaro similarity of two strings."""
+    if left == right:
+        return 1.0
+    if not left or not right:
+        return 0.0
+    window = max(len(left), len(right)) // 2 - 1
+    window = max(window, 0)
+
+    left_matches = [False] * len(left)
+    right_matches = [False] * len(right)
+    matches = 0
+    for i, char in enumerate(left):
+        start = max(0, i - window)
+        end = min(i + window + 1, len(right))
+        for j in range(start, end):
+            if right_matches[j] or right[j] != char:
+                continue
+            left_matches[i] = True
+            right_matches[j] = True
+            matches += 1
+            break
+    if matches == 0:
+        return 0.0
+
+    transpositions = 0
+    j = 0
+    for i, matched in enumerate(left_matches):
+        if not matched:
+            continue
+        while not right_matches[j]:
+            j += 1
+        if left[i] != right[j]:
+            transpositions += 1
+        j += 1
+    transpositions //= 2
+
+    return (
+        matches / len(left) + matches / len(right) + (matches - transpositions) / matches
+    ) / 3.0
+
+
+def jaro_winkler_similarity(left: str, right: str, prefix_scale: float = 0.1) -> float:
+    """Jaro-Winkler similarity (Jaro boosted by the length of the common prefix)."""
+    if not 0.0 <= prefix_scale <= 0.25:
+        raise LinkageError("prefix_scale must lie in [0, 0.25]")
+    jaro = jaro_similarity(left, right)
+    prefix = 0
+    for left_char, right_char in zip(left[:4], right[:4]):
+        if left_char != right_char:
+            break
+        prefix += 1
+    return jaro + prefix * prefix_scale * (1.0 - jaro)
+
+
+def token_set_similarity(left: str, right: str) -> float:
+    """Jaccard similarity of the token sets of two normalized names."""
+    left_tokens = set(left.split())
+    right_tokens = set(right.split())
+    if not left_tokens and not right_tokens:
+        return 1.0
+    if not left_tokens or not right_tokens:
+        return 0.0
+    return len(left_tokens & right_tokens) / len(left_tokens | right_tokens)
+
+
+def name_similarity(left: str, right: str) -> float:
+    """Composite name similarity used by the linkage step.
+
+    Names are normalized, then scored with the maximum of Jaro-Winkler on the
+    full string and the token-set similarity (which forgives token reordering
+    such as "Miller, Alice" vs "Alice Miller"), softened with the Levenshtein
+    similarity to temper pure-prefix coincidences.
+    """
+    left_norm = normalize_name(left)
+    right_norm = normalize_name(right)
+    if not left_norm or not right_norm:
+        return 0.0
+    if left_norm == right_norm:
+        return 1.0
+    jaro_winkler = jaro_winkler_similarity(left_norm, right_norm)
+    token_set = token_set_similarity(left_norm, right_norm)
+    levenshtein = levenshtein_similarity(left_norm, right_norm)
+    return max(0.6 * jaro_winkler + 0.4 * levenshtein, token_set)
+
+
+@dataclass(frozen=True)
+class MatchCandidate:
+    """A candidate match of a query name against a corpus entry."""
+
+    query: str
+    candidate: str
+    candidate_index: int
+    score: float
+
+
+class NameMatcher:
+    """Approximate name matcher with first-letter blocking.
+
+    Parameters
+    ----------
+    corpus_names:
+        The names known to the auxiliary source (web page owners).
+    threshold:
+        Minimum composite similarity for a match to be reported.
+    use_blocking:
+        When enabled, only candidates sharing a first letter (of any token)
+        with the query are compared — the standard blocking trick that keeps
+        linkage tractable on larger corpora.
+    """
+
+    def __init__(
+        self,
+        corpus_names: Sequence[str],
+        threshold: float = 0.82,
+        use_blocking: bool = True,
+    ) -> None:
+        if not 0.0 < threshold <= 1.0:
+            raise LinkageError(f"threshold must lie in (0, 1], got {threshold}")
+        self.threshold = threshold
+        self.use_blocking = use_blocking
+        self._names = list(corpus_names)
+        self._normalized = [normalize_name(name) for name in self._names]
+        self._blocks: dict[str, list[int]] = {}
+        for index, normalized in enumerate(self._normalized):
+            for token in normalized.split():
+                self._blocks.setdefault(token[0], []).append(index)
+
+    def _candidate_indices(self, normalized_query: str) -> Iterable[int]:
+        if not self.use_blocking:
+            return range(len(self._names))
+        indices: set[int] = set()
+        for token in normalized_query.split():
+            indices.update(self._blocks.get(token[0], []))
+        return sorted(indices)
+
+    def candidates(self, query: str) -> list[MatchCandidate]:
+        """All corpus entries scoring above the threshold, best first."""
+        normalized_query = normalize_name(query)
+        if not normalized_query:
+            return []
+        results = []
+        for index in self._candidate_indices(normalized_query):
+            score = name_similarity(normalized_query, self._normalized[index])
+            if score >= self.threshold:
+                results.append(
+                    MatchCandidate(
+                        query=query,
+                        candidate=self._names[index],
+                        candidate_index=index,
+                        score=score,
+                    )
+                )
+        results.sort(key=lambda c: c.score, reverse=True)
+        return results
+
+    def best_match(self, query: str) -> MatchCandidate | None:
+        """The single best match above the threshold, or ``None``."""
+        matches = self.candidates(query)
+        return matches[0] if matches else None

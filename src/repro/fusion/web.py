@@ -1,0 +1,237 @@
+"""Simulated web corpus — the substitute for the adversary's live-web channel.
+
+The paper's adversary harvests auxiliary data (employment, property holdings)
+from employee home pages, blogs and the links reachable from them.  A live web
+crawl is neither reproducible nor available offline, so this module simulates
+the channel end to end while preserving every property the attack relies on:
+
+* pages are **indexed by person name**, and the displayed name may be a
+  variant of the enterprise-database name (initials, reordered, titled), so the
+  adversary must run approximate record linkage;
+* pages expose **noisy numeric facts** correlated with the sensitive attribute
+  (the generator in :mod:`repro.data.webgen` controls that correlation);
+* a configurable fraction of people have **no web presence** at all, and the
+  corpus may also contain **distractor pages** about unrelated people.
+
+The corpus implements :class:`~repro.fusion.auxiliary.AuxiliarySource`, so the
+attack pipeline is agnostic to whether it talks to this simulation or to a
+table of genuinely harvested data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import AuxiliarySourceError
+from repro.fusion.auxiliary import AuxiliaryRecord, AuxiliarySource
+from repro.fusion.linkage import NameMatcher
+
+__all__ = ["WebPage", "SimulatedWebCorpus", "name_variant"]
+
+
+@dataclass(frozen=True)
+class WebPage:
+    """One synthetic person page in the simulated web."""
+
+    owner: str
+    displayed_name: str
+    url: str
+    facts: Mapping[str, float | str]
+
+    def render(self) -> str:
+        """A small pseudo-HTML rendering (used by examples to show what the adversary sees)."""
+        lines = [f"<title>{self.displayed_name}</title>"]
+        for key, value in self.facts.items():
+            lines.append(f"<p>{key.replace('_', ' ')}: {value}</p>")
+        return "\n".join(lines)
+
+
+def name_variant(name: str, rng: np.random.Generator) -> str:
+    """A plausible web rendering of ``name`` (initials, reordering, titles)."""
+    tokens = str(name).split()
+    if len(tokens) < 2:
+        return str(name)
+    first, last = tokens[0], tokens[-1]
+    choice = rng.integers(0, 5)
+    if choice == 0:
+        return f"{first} {last}"
+    if choice == 1:
+        return f"{first[0]}. {last}"
+    if choice == 2:
+        return f"{last}, {first}"
+    if choice == 3:
+        return f"Dr. {first} {last}"
+    return f"{first} {tokens[1][0]}. {last}" if len(tokens) > 2 else f"{first} {last}"
+
+
+@dataclass
+class SimulatedWebCorpus(AuxiliarySource):
+    """A searchable corpus of synthetic person pages.
+
+    Parameters
+    ----------
+    pages:
+        The person pages making up the corpus.
+    attribute_names:
+        Numeric fact names the corpus exposes (harvestable auxiliary attributes).
+    linkage_threshold:
+        Minimum composite name similarity for a page to be returned by
+        :meth:`search`.
+    """
+
+    pages: list[WebPage]
+    attribute_names: tuple[str, ...]
+    linkage_threshold: float = 0.82
+    _matcher: NameMatcher = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.pages:
+            raise AuxiliarySourceError("a web corpus needs at least one page")
+        self._matcher = NameMatcher(
+            [page.displayed_name for page in self.pages], threshold=self.linkage_threshold
+        )
+
+    # Construction ----------------------------------------------------------------
+
+    @classmethod
+    def from_profiles(
+        cls,
+        profiles: Sequence[Mapping[str, object]],
+        attribute_names: Sequence[str],
+        noise_level: float = 0.05,
+        coverage: float = 1.0,
+        name_variant_probability: float = 0.5,
+        distractor_count: int = 0,
+        linkage_threshold: float = 0.82,
+        seed: int = 0,
+    ) -> "SimulatedWebCorpus":
+        """Generate a corpus from ground-truth person profiles.
+
+        Parameters
+        ----------
+        profiles:
+            Mappings with a ``"name"`` key plus the true auxiliary attribute
+            values for each person.
+        attribute_names:
+            Which attributes become harvestable page facts.
+        noise_level:
+            Relative (multiplicative) Gaussian noise applied to numeric facts,
+            modelling imprecise or stale web information.
+        coverage:
+            Probability that a person has a page at all.
+        name_variant_probability:
+            Probability that the page displays a variant of the person's name
+            instead of the exact enterprise-database spelling.
+        distractor_count:
+            Number of unrelated pages (random names, random facts) added to the
+            corpus to stress the linkage step.
+        seed:
+            RNG seed; the corpus is fully deterministic given the seed.
+        """
+        if not 0.0 <= coverage <= 1.0:
+            raise AuxiliarySourceError("coverage must lie in [0, 1]")
+        if noise_level < 0.0:
+            raise AuxiliarySourceError("noise_level must be non-negative")
+        rng = np.random.default_rng(seed)
+        pages: list[WebPage] = []
+        for index, profile in enumerate(profiles):
+            if "name" not in profile:
+                raise AuxiliarySourceError("every profile needs a 'name' entry")
+            if rng.random() > coverage:
+                continue
+            name = str(profile["name"])
+            displayed = (
+                name_variant(name, rng)
+                if rng.random() < name_variant_probability
+                else name
+            )
+            facts: dict[str, float | str] = {}
+            for attribute in attribute_names:
+                value = profile.get(attribute)
+                if value is None:
+                    continue
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    noisy = float(value) * (1.0 + rng.normal(0.0, noise_level))
+                    facts[attribute] = float(noisy)
+                else:
+                    facts[attribute] = str(value)
+            for extra_key in ("employer", "position"):
+                if extra_key in profile and extra_key not in facts:
+                    facts[extra_key] = str(profile[extra_key])
+            pages.append(
+                WebPage(
+                    owner=name,
+                    displayed_name=displayed,
+                    url=f"https://people.example.edu/~person{index}",
+                    facts=facts,
+                )
+            )
+
+        for d in range(distractor_count):
+            fake_name = f"{_DISTRACTOR_FIRST[d % len(_DISTRACTOR_FIRST)]} {_DISTRACTOR_LAST[(d * 7) % len(_DISTRACTOR_LAST)]}"
+            facts = {
+                attribute: float(rng.uniform(0.0, 1.0)) for attribute in attribute_names
+            }
+            pages.append(
+                WebPage(
+                    owner=fake_name,
+                    displayed_name=fake_name,
+                    url=f"https://blogs.example.com/post{d}",
+                    facts=facts,
+                )
+            )
+
+        if not pages:
+            raise AuxiliarySourceError(
+                "corpus generation produced no pages; increase coverage or profile count"
+            )
+        return cls(
+            pages=pages,
+            attribute_names=tuple(attribute_names),
+            linkage_threshold=linkage_threshold,
+        )
+
+    # AuxiliarySource interface ------------------------------------------------------
+
+    def search(self, name: str) -> list[AuxiliaryRecord]:
+        """Pages plausibly belonging to ``name``, best linkage score first."""
+        matches = self._matcher.candidates(name)
+        records = []
+        for match in matches:
+            page = self.pages[match.candidate_index]
+            records.append(
+                AuxiliaryRecord(
+                    name=page.displayed_name,
+                    attributes=dict(page.facts),
+                    confidence=min(match.score, 1.0),
+                    source=page.url,
+                )
+            )
+        return records
+
+    # Introspection helpers ------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of pages in the corpus."""
+        return len(self.pages)
+
+    def coverage_of(self, names: Sequence[str]) -> float:
+        """Fraction of ``names`` for which at least one page links above threshold."""
+        if not names:
+            return 0.0
+        hits = sum(1 for name in names if self.search(name))
+        return hits / len(names)
+
+
+_DISTRACTOR_FIRST = (
+    "Avery", "Blake", "Casey", "Devon", "Emery", "Finley", "Harper", "Jordan",
+    "Kendall", "Logan", "Morgan", "Parker", "Quinn", "Reese", "Skyler", "Taylor",
+)
+_DISTRACTOR_LAST = (
+    "Abbott", "Barton", "Chandler", "Dalton", "Ellison", "Forsythe", "Granger",
+    "Holloway", "Irving", "Jennings", "Kessler", "Lockwood", "Mercer", "Norwood",
+)

@@ -1,0 +1,30 @@
+"""Fuzzy inference substrate (the paper's information-fusion engine)."""
+
+from repro.fuzzy.defuzzify import STRATEGIES, bisector, centroid, defuzzify, mean_of_maxima
+from repro.fuzzy.inference import InferenceTrace, MamdaniSystem
+from repro.fuzzy.membership import GaussianMF, MembershipFunction, TrapezoidalMF, TriangularMF
+from repro.fuzzy.rules import Condition, FuzzyRule, parse_rule, parse_rules
+from repro.fuzzy.tsk import SugenoSystem, term_centroids
+from repro.fuzzy.variables import FuzzySet, LinguisticVariable
+
+__all__ = [
+    "MembershipFunction",
+    "TriangularMF",
+    "TrapezoidalMF",
+    "GaussianMF",
+    "FuzzySet",
+    "LinguisticVariable",
+    "Condition",
+    "FuzzyRule",
+    "parse_rule",
+    "parse_rules",
+    "MamdaniSystem",
+    "InferenceTrace",
+    "SugenoSystem",
+    "term_centroids",
+    "defuzzify",
+    "centroid",
+    "bisector",
+    "mean_of_maxima",
+    "STRATEGIES",
+]

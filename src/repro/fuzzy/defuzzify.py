@@ -1,0 +1,77 @@
+"""Defuzzification strategies.
+
+The Mamdani engine produces an aggregated output membership curve over the
+output universe (the "D E - F U Z Z I F I E R" stage of the paper's Figure 2);
+defuzzification collapses it to a single crisp estimate of the sensitive
+attribute.  The three standard strategies are provided:
+
+* ``centroid`` — centre of gravity of the aggregated curve (Matlab default,
+  used as this library's default);
+* ``bisector`` — the abscissa splitting the area under the curve in half;
+* ``mom`` — mean of maxima.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import FuzzyEvaluationError
+
+__all__ = ["centroid", "bisector", "mean_of_maxima", "defuzzify", "STRATEGIES"]
+
+
+def centroid(universe: np.ndarray, membership: np.ndarray) -> float:
+    """Centre of gravity of the membership curve."""
+    _validate(universe, membership)
+    total = float(np.trapezoid(membership, universe))
+    if total <= 0.0:
+        raise FuzzyEvaluationError("cannot defuzzify an all-zero membership curve")
+    return float(np.trapezoid(membership * universe, universe) / total)
+
+
+def bisector(universe: np.ndarray, membership: np.ndarray) -> float:
+    """Abscissa that splits the area under the membership curve into equal halves."""
+    _validate(universe, membership)
+    cumulative = np.concatenate(
+        [[0.0], np.cumsum((membership[1:] + membership[:-1]) / 2.0 * np.diff(universe))]
+    )
+    total = cumulative[-1]
+    if total <= 0.0:
+        raise FuzzyEvaluationError("cannot defuzzify an all-zero membership curve")
+    index = int(np.searchsorted(cumulative, total / 2.0))
+    index = min(max(index, 0), len(universe) - 1)
+    return float(universe[index])
+
+
+def mean_of_maxima(universe: np.ndarray, membership: np.ndarray) -> float:
+    """Mean of the abscissas where the membership curve attains its maximum."""
+    _validate(universe, membership)
+    peak = float(membership.max())
+    if peak <= 0.0:
+        raise FuzzyEvaluationError("cannot defuzzify an all-zero membership curve")
+    return float(universe[np.isclose(membership, peak)].mean())
+
+
+STRATEGIES = {
+    "centroid": centroid,
+    "bisector": bisector,
+    "mom": mean_of_maxima,
+}
+
+
+def defuzzify(universe: np.ndarray, membership: np.ndarray, strategy: str = "centroid") -> float:
+    """Dispatch to one of the registered defuzzification strategies."""
+    if strategy not in STRATEGIES:
+        raise FuzzyEvaluationError(
+            f"unknown defuzzification strategy {strategy!r}; options: {sorted(STRATEGIES)}"
+        )
+    return STRATEGIES[strategy](universe, membership)
+
+
+def _validate(universe: np.ndarray, membership: np.ndarray) -> None:
+    if universe.shape != membership.shape:
+        raise FuzzyEvaluationError(
+            f"universe and membership shapes differ: {universe.shape} vs {membership.shape}"
+        )
+    if universe.ndim != 1 or universe.size < 3:
+        raise FuzzyEvaluationError("defuzzification needs a 1-D universe with >= 3 samples")

@@ -1,0 +1,171 @@
+"""Mamdani fuzzy inference engine.
+
+This is the information-fusion system ``F`` of the paper (Section III.A,
+Figure 2).  Evaluation follows the classic Mamdani pipeline:
+
+1. **fuzzify** every crisp input against its linguistic variable;
+2. compute each rule's **firing strength** (min for AND, max for OR, scaled by
+   the rule weight);
+3. **imply** each rule's consequent by clipping (min) the consequent term's
+   membership curve at the firing strength;
+4. **aggregate** the implied curves with max;
+5. **defuzzify** the aggregated curve (centroid by default) to obtain the
+   crisp output — the adversary's estimate of the sensitive attribute.
+
+Missing inputs (``None`` / NaN — e.g. a suppressed release cell or a person
+with no web presence) are handled by treating every term of that variable as
+fully possible (membership 1), i.e. the input contributes no information,
+which is the conservative choice for an adversary.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import FuzzyDefinitionError, FuzzyEvaluationError
+from repro.fuzzy.defuzzify import defuzzify
+from repro.fuzzy.rules import FuzzyRule
+from repro.fuzzy.variables import LinguisticVariable
+
+__all__ = ["MamdaniSystem", "InferenceTrace"]
+
+
+@dataclass
+class InferenceTrace:
+    """Intermediate quantities of one Mamdani evaluation (for explanations/tests)."""
+
+    fuzzified: dict[str, dict[str, float]]
+    firing_strengths: list[float]
+    aggregated: np.ndarray
+    output: float
+
+
+@dataclass
+class MamdaniSystem:
+    """A Mamdani fuzzy inference system.
+
+    Parameters
+    ----------
+    inputs:
+        The input linguistic variables, keyed by name.
+    output:
+        The output linguistic variable (the sensitive attribute to estimate).
+    rules:
+        The fuzzy rule base.
+    defuzzification:
+        ``"centroid"`` (default), ``"bisector"`` or ``"mom"``.
+    resolution:
+        Number of samples of the output universe used for aggregation.
+    """
+
+    inputs: dict[str, LinguisticVariable]
+    output: LinguisticVariable
+    rules: list[FuzzyRule] = field(default_factory=list)
+    defuzzification: str = "centroid"
+    resolution: int = 201
+
+    def __post_init__(self) -> None:
+        if not self.inputs:
+            raise FuzzyDefinitionError("a Mamdani system needs at least one input variable")
+        for name, variable in self.inputs.items():
+            if name != variable.name:
+                raise FuzzyDefinitionError(
+                    f"input key {name!r} does not match variable name {variable.name!r}"
+                )
+        for rule in self.rules:
+            rule.validate_against(self.inputs, self.output)
+
+    # Rule management ------------------------------------------------------------
+
+    def add_rule(self, rule: FuzzyRule) -> "MamdaniSystem":
+        """Validate and append a rule (returns ``self`` for chaining)."""
+        rule.validate_against(self.inputs, self.output)
+        self.rules.append(rule)
+        return self
+
+    def add_rules(self, rules: Sequence[FuzzyRule]) -> "MamdaniSystem":
+        """Validate and append several rules."""
+        for rule in rules:
+            self.add_rule(rule)
+        return self
+
+    # Evaluation -------------------------------------------------------------------
+
+    def fuzzify(self, inputs: Mapping[str, float | None]) -> dict[str, dict[str, float]]:
+        """Fuzzify the crisp inputs; unknown/missing inputs map every term to 1."""
+        fuzzified: dict[str, dict[str, float]] = {}
+        for name, variable in self.inputs.items():
+            value = inputs.get(name)
+            if value is None or (isinstance(value, float) and math.isnan(value)):
+                fuzzified[name] = {term: 1.0 for term in variable.term_names}
+            else:
+                fuzzified[name] = variable.fuzzify(float(value))
+        return fuzzified
+
+    def evaluate(self, inputs: Mapping[str, float | None]) -> float:
+        """Crisp output for the given crisp inputs."""
+        return self.trace(inputs).output
+
+    def trace(self, inputs: Mapping[str, float | None]) -> InferenceTrace:
+        """Evaluate and return every intermediate quantity."""
+        if not self.rules:
+            raise FuzzyEvaluationError("the rule base is empty; add rules before evaluating")
+        unknown = set(inputs) - set(self.inputs)
+        if unknown:
+            raise FuzzyEvaluationError(
+                f"inputs reference unknown variables: {sorted(unknown)}"
+            )
+
+        fuzzified = self.fuzzify(inputs)
+        universe = self.output.grid(self.resolution)
+        aggregated = np.zeros_like(universe)
+        strengths: list[float] = []
+
+        for rule in self.rules:
+            strength = rule.firing_strength(fuzzified)
+            strengths.append(strength)
+            if strength <= 0.0:
+                continue
+            term_curve = np.asarray(
+                self.output.term(rule.consequent_term).membership(universe), dtype=float
+            )
+            implied = np.minimum(term_curve, strength)
+            aggregated = np.maximum(aggregated, implied)
+
+        if float(aggregated.max(initial=0.0)) <= 0.0:
+            # No rule fired: fall back to the midpoint of the output universe,
+            # the least-informative estimate (an adversary can always guess the
+            # middle of the declared range).
+            output_value = float((self.output.universe[0] + self.output.universe[1]) / 2.0)
+        else:
+            output_value = defuzzify(universe, aggregated, self.defuzzification)
+
+        return InferenceTrace(
+            fuzzified=fuzzified,
+            firing_strengths=strengths,
+            aggregated=aggregated,
+            output=output_value,
+        )
+
+    def evaluate_batch(self, records: Sequence[Mapping[str, float | None]]) -> np.ndarray:
+        """Crisp outputs for a sequence of input records."""
+        return np.array([self.evaluate(record) for record in records], dtype=float)
+
+    def describe(self) -> str:
+        """Human-readable summary of the system (variables, terms, rules)."""
+        lines = [f"Mamdani system -> {self.output.name} ({self.defuzzification})"]
+        for name, variable in self.inputs.items():
+            lines.append(
+                f"  input {name}: universe={variable.universe} terms={list(variable.term_names)}"
+            )
+        lines.append(
+            f"  output {self.output.name}: universe={self.output.universe} "
+            f"terms={list(self.output.term_names)}"
+        )
+        for rule in self.rules:
+            lines.append(f"  rule: {rule}")
+        return "\n".join(lines)

@@ -1,0 +1,121 @@
+"""Zero-order Sugeno (Takagi-Sugeno-Kang) inference engine.
+
+The paper uses Mamdani inference; the Sugeno engine is provided as an ablation
+alternative for the fusion system (DESIGN.md §6).  A zero-order Sugeno rule
+asserts a crisp consequent value instead of a fuzzy term; the system output is
+the firing-strength-weighted average of the consequent values::
+
+    output = sum(strength_i * value_i) / sum(strength_i)
+
+Consequent values can be given explicitly, or derived from an output
+:class:`~repro.fuzzy.variables.LinguisticVariable` by taking each term's
+centroid — this makes it a drop-in replacement for a Mamdani rule base.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import FuzzyDefinitionError, FuzzyEvaluationError
+from repro.fuzzy.rules import FuzzyRule
+from repro.fuzzy.variables import LinguisticVariable
+
+__all__ = ["SugenoSystem", "term_centroids"]
+
+
+def term_centroids(variable: LinguisticVariable, resolution: int = 401) -> dict[str, float]:
+    """Centroid of each linguistic term of ``variable`` (crisp consequent values)."""
+    universe = variable.grid(resolution)
+    centroids: dict[str, float] = {}
+    for name in variable.term_names:
+        curve = np.asarray(variable.term(name).membership(universe), dtype=float)
+        area = float(np.trapezoid(curve, universe))
+        if area <= 0.0:
+            raise FuzzyDefinitionError(f"term {name!r} has zero area; cannot take centroid")
+        centroids[name] = float(np.trapezoid(curve * universe, universe) / area)
+    return centroids
+
+
+@dataclass
+class SugenoSystem:
+    """Zero-order Sugeno system sharing the Mamdani rule representation.
+
+    Parameters
+    ----------
+    inputs:
+        Input linguistic variables keyed by name.
+    output:
+        The output linguistic variable (used for term centroids and the
+        fallback estimate).
+    rules:
+        Fuzzy rules; each rule's ``consequent_term`` selects the crisp value
+        from ``consequents``.
+    consequents:
+        Optional explicit mapping from consequent term name to crisp value.
+        When omitted it defaults to the output variable's term centroids.
+    """
+
+    inputs: dict[str, LinguisticVariable]
+    output: LinguisticVariable
+    rules: list[FuzzyRule] = field(default_factory=list)
+    consequents: dict[str, float] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.inputs:
+            raise FuzzyDefinitionError("a Sugeno system needs at least one input variable")
+        if self.consequents is None:
+            self.consequents = term_centroids(self.output)
+        for rule in self.rules:
+            self._validate_rule(rule)
+
+    def _validate_rule(self, rule: FuzzyRule) -> None:
+        rule.validate_against(self.inputs, self.output)
+        if rule.consequent_term not in self.consequents:
+            raise FuzzyDefinitionError(
+                f"no crisp consequent registered for term {rule.consequent_term!r}"
+            )
+
+    def add_rule(self, rule: FuzzyRule) -> "SugenoSystem":
+        """Validate and append a rule."""
+        self._validate_rule(rule)
+        self.rules.append(rule)
+        return self
+
+    def add_rules(self, rules: Sequence[FuzzyRule]) -> "SugenoSystem":
+        """Validate and append several rules."""
+        for rule in rules:
+            self.add_rule(rule)
+        return self
+
+    def fuzzify(self, inputs: Mapping[str, float | None]) -> dict[str, dict[str, float]]:
+        """Fuzzify crisp inputs, treating missing inputs as uninformative."""
+        fuzzified: dict[str, dict[str, float]] = {}
+        for name, variable in self.inputs.items():
+            value = inputs.get(name)
+            if value is None or (isinstance(value, float) and np.isnan(value)):
+                fuzzified[name] = {term: 1.0 for term in variable.term_names}
+            else:
+                fuzzified[name] = variable.fuzzify(float(value))
+        return fuzzified
+
+    def evaluate(self, inputs: Mapping[str, float | None]) -> float:
+        """Weighted-average crisp output for the given inputs."""
+        if not self.rules:
+            raise FuzzyEvaluationError("the rule base is empty; add rules before evaluating")
+        fuzzified = self.fuzzify(inputs)
+        numerator = 0.0
+        denominator = 0.0
+        for rule in self.rules:
+            strength = rule.firing_strength(fuzzified)
+            numerator += strength * self.consequents[rule.consequent_term]
+            denominator += strength
+        if denominator <= 0.0:
+            return float((self.output.universe[0] + self.output.universe[1]) / 2.0)
+        return numerator / denominator
+
+    def evaluate_batch(self, records: Sequence[Mapping[str, float | None]]) -> np.ndarray:
+        """Crisp outputs for a sequence of input records."""
+        return np.array([self.evaluate(record) for record in records], dtype=float)

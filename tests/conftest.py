@@ -1,0 +1,93 @@
+"""Shared fixtures for the test suite.
+
+Fixtures are deliberately small (tens of records) so the full suite stays
+fast; the integration tests that need the paper-scale sweep build their own
+setup with module-scoped caching.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.customers import enterprise_customers_example
+from repro.data.faculty import FacultyConfig, generate_faculty
+from repro.data.webgen import corpus_for_faculty
+from repro.dataset.schema import Attribute, AttributeKind, AttributeRole, Schema
+from repro.dataset.table import Table
+from repro.fusion.attack import AttackConfig
+
+
+@pytest.fixture()
+def customers() -> Table:
+    """The paper's 4-customer enterprise table (Table II)."""
+    return enterprise_customers_example()
+
+
+@pytest.fixture()
+def simple_schema() -> Schema:
+    """A small schema with one attribute of every role."""
+    return Schema(
+        [
+            Attribute("name", AttributeRole.IDENTIFIER, AttributeKind.TEXT),
+            Attribute("age", AttributeRole.QUASI_IDENTIFIER),
+            Attribute("city", AttributeRole.QUASI_IDENTIFIER, AttributeKind.CATEGORICAL),
+            Attribute("salary", AttributeRole.SENSITIVE),
+        ]
+    )
+
+
+@pytest.fixture()
+def simple_table(simple_schema: Schema) -> Table:
+    """A 6-row table over ``simple_schema`` with a deterministic pattern."""
+    rows = [
+        {"name": "Ana Ruiz", "age": 25, "city": "Boston", "salary": 52_000.0},
+        {"name": "Ben Cole", "age": 31, "city": "Boston", "salary": 61_000.0},
+        {"name": "Cara Diaz", "age": 37, "city": "Albany", "salary": 70_000.0},
+        {"name": "Dan Evans", "age": 44, "city": "Albany", "salary": 83_000.0},
+        {"name": "Eve Frank", "age": 52, "city": "Boston", "salary": 95_000.0},
+        {"name": "Finn Gray", "age": 58, "city": "Albany", "salary": 104_000.0},
+    ]
+    return Table.from_rows(simple_schema, rows)
+
+
+@pytest.fixture(scope="session")
+def faculty_population():
+    """A small faculty population shared (read-only) across the session."""
+    return generate_faculty(FacultyConfig(count=40, seed=5))
+
+
+@pytest.fixture(scope="session")
+def faculty_corpus(faculty_population):
+    """The simulated web corpus matching ``faculty_population``."""
+    return corpus_for_faculty(faculty_population, distractor_count=10)
+
+
+@pytest.fixture(scope="session")
+def faculty_attack_config(faculty_population) -> AttackConfig:
+    """The standard attack configuration for the faculty population."""
+    return AttackConfig(
+        release_inputs=(
+            "research_score",
+            "teaching_score",
+            "service_score",
+            "years_of_service",
+        ),
+        auxiliary_inputs=("property_holdings", "employment_seniority"),
+        output_name="salary",
+        output_universe=faculty_population.assumed_salary_range,
+        input_ranges={
+            "research_score": (1.0, 10.0),
+            "teaching_score": (1.0, 10.0),
+            "service_score": (1.0, 10.0),
+            "years_of_service": (0.0, 40.0),
+            "employment_seniority": (0.0, 45.0),
+            "property_holdings": (100_000.0, 900_000.0),
+        },
+    )
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A deterministic RNG for tests that need random draws."""
+    return np.random.default_rng(1234)

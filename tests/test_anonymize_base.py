@@ -1,0 +1,106 @@
+"""Unit tests for repro.anonymize.base (equivalence classes, release building)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.anonymize.base import (
+    AnonymizationResult,
+    EquivalenceClass,
+    build_release,
+    validate_k,
+)
+from repro.dataset.generalization import CategorySet, Interval
+from repro.exceptions import AnonymizationError, InfeasibleAnonymizationError
+
+
+class TestEquivalenceClass:
+    def test_size(self):
+        assert EquivalenceClass((0, 1, 2)).size == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnonymizationError):
+            EquivalenceClass(())
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(AnonymizationError):
+            EquivalenceClass((1, 1))
+
+
+class TestValidateK:
+    def test_accepts_feasible_k(self, simple_table):
+        validate_k(simple_table, 1)
+        validate_k(simple_table, 6)
+
+    def test_rejects_nonpositive_k(self, simple_table):
+        with pytest.raises(AnonymizationError):
+            validate_k(simple_table, 0)
+
+    def test_rejects_k_above_population(self, simple_table):
+        with pytest.raises(InfeasibleAnonymizationError):
+            validate_k(simple_table, 7)
+
+
+class TestBuildRelease:
+    @pytest.fixture()
+    def classes(self):
+        return [EquivalenceClass((0, 1, 2)), EquivalenceClass((3, 4, 5))]
+
+    def test_interval_style(self, simple_table, classes):
+        release = build_release(simple_table, classes, k=3, style="interval")
+        assert "salary" not in release.schema
+        cell = release.cell(0, "age")
+        assert cell == Interval(25, 37)
+        # every member of the class shares the generalized cell
+        assert release.cell(1, "age") == cell
+        assert release.cell(2, "age") == cell
+
+    def test_categorical_cells_become_category_sets(self, simple_table, classes):
+        release = build_release(simple_table, classes, k=3)
+        city = release.cell(3, "city")
+        assert isinstance(city, (CategorySet, str))
+        if isinstance(city, CategorySet):
+            assert set(city.members) <= {"Boston", "Albany"}
+
+    def test_centroid_style(self, simple_table, classes):
+        release = build_release(simple_table, classes, k=3, style="centroid")
+        assert release.cell(0, "age") == pytest.approx(np.mean([25, 31, 37]))
+
+    def test_identifiers_kept_verbatim(self, simple_table, classes):
+        release = build_release(simple_table, classes, k=3)
+        assert release.column("name") == simple_table.column("name")
+
+    def test_keep_sensitive(self, simple_table, classes):
+        release = build_release(simple_table, classes, k=3, keep_sensitive=True)
+        assert "salary" in release.schema
+
+    def test_unknown_style(self, simple_table, classes):
+        with pytest.raises(AnonymizationError):
+            build_release(simple_table, classes, k=3, style="average")
+
+    def test_partition_must_cover_every_row(self, simple_table):
+        with pytest.raises(AnonymizationError, match="cover"):
+            build_release(simple_table, [EquivalenceClass((0, 1))], k=2)
+
+    def test_partition_must_respect_k(self, simple_table):
+        classes = [EquivalenceClass((0,)), EquivalenceClass((1, 2, 3, 4, 5))]
+        with pytest.raises(AnonymizationError, match="violates k"):
+            build_release(simple_table, classes, k=2)
+        # but k=1 allows singleton classes
+        release = build_release(simple_table, classes, k=1)
+        assert release.num_rows == 6
+
+
+class TestAnonymizationResult:
+    def test_class_bookkeeping(self, simple_table):
+        classes = [EquivalenceClass((0, 1, 2)), EquivalenceClass((3, 4, 5))]
+        release = build_release(simple_table, classes, k=3)
+        result = AnonymizationResult(
+            original=simple_table, release=release, classes=classes, k=3, anonymizer="test"
+        )
+        assert result.class_sizes == [3, 3]
+        assert result.minimum_class_size == 3
+        assert result.class_of(4).indices == (3, 4, 5)
+        with pytest.raises(AnonymizationError):
+            result.class_of(99)

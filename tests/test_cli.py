@@ -1,0 +1,155 @@
+"""End-to-end tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.dataset.io import read_csv, write_csv
+from repro.dataset.schema import Attribute, AttributeKind, AttributeRole, Schema
+from repro.dataset.table import Table
+from repro.anonymize.kanonymity import is_k_anonymous
+
+
+@pytest.fixture()
+def csv_paths(tmp_path, faculty_population):
+    """Write the faculty private table and its auxiliary web data as CSVs."""
+    private_path = tmp_path / "private.csv"
+    write_csv(faculty_population.private, private_path)
+
+    aux_schema = Schema(
+        [Attribute("name", AttributeRole.IDENTIFIER, AttributeKind.TEXT)]
+        + [
+            Attribute(name, AttributeRole.QUASI_IDENTIFIER)
+            for name in faculty_population.auxiliary_attributes
+        ]
+    )
+    aux_rows = [
+        {
+            "name": profile["name"],
+            **{name: profile[name] for name in faculty_population.auxiliary_attributes},
+        }
+        for profile in faculty_population.profiles
+    ]
+    aux_path = tmp_path / "web.csv"
+    write_csv(Table.from_rows(aux_schema, aux_rows), aux_path)
+    return private_path, aux_path
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_parses_anonymize(self):
+        arguments = build_parser().parse_args(
+            ["anonymize", "--input", "a.csv", "--output", "b.csv", "--k", "3"]
+        )
+        assert arguments.command == "anonymize"
+        assert arguments.k == 3
+        assert arguments.algorithm == "mdav"
+
+
+class TestAnonymizeCommand:
+    def test_writes_k_anonymous_release(self, csv_paths, tmp_path, capsys):
+        private_path, _ = csv_paths
+        output = tmp_path / "release.csv"
+        exit_code = main(
+            ["anonymize", "--input", str(private_path), "--output", str(output), "--k", "4"]
+        )
+        assert exit_code == 0
+        release = read_csv(output)
+        assert "salary" not in release.schema
+        assert is_k_anonymous(release, 4)
+        assert "wrote" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("algorithm", ["mondrian", "greedy-cluster"])
+    def test_other_algorithms(self, csv_paths, tmp_path, algorithm):
+        private_path, _ = csv_paths
+        output = tmp_path / "release.csv"
+        exit_code = main(
+            [
+                "anonymize", "--input", str(private_path), "--output", str(output),
+                "--k", "3", "--algorithm", algorithm,
+            ]
+        )
+        assert exit_code == 0
+        assert is_k_anonymous(read_csv(output), 3)
+
+    def test_infeasible_k_reports_error(self, csv_paths, tmp_path, capsys):
+        private_path, _ = csv_paths
+        exit_code = main(
+            [
+                "anonymize", "--input", str(private_path),
+                "--output", str(tmp_path / "r.csv"), "--k", "10000",
+            ]
+        )
+        assert exit_code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestAttackCommand:
+    def test_estimates_written(self, csv_paths, tmp_path, faculty_population, capsys):
+        private_path, aux_path = csv_paths
+        release_path = tmp_path / "release.csv"
+        main(["anonymize", "--input", str(private_path), "--output", str(release_path), "--k", "3"])
+
+        estimates_path = tmp_path / "estimates.csv"
+        low, high = faculty_population.assumed_salary_range
+        exit_code = main(
+            [
+                "attack", "--release", str(release_path), "--auxiliary", str(aux_path),
+                "--sensitive-low", str(low), "--sensitive-high", str(high),
+                "--output", str(estimates_path), "--sensitive-name", "salary_estimate",
+            ]
+        )
+        assert exit_code == 0
+        estimates = read_csv(estimates_path)
+        assert estimates.num_rows == faculty_population.private.num_rows
+        values = estimates.numeric_column("salary_estimate")
+        assert (values >= low).all() and (values <= high).all()
+        assert "matched auxiliary data" in capsys.readouterr().out
+
+    def test_prints_when_no_output(self, csv_paths, tmp_path, faculty_population, capsys):
+        private_path, aux_path = csv_paths
+        release_path = tmp_path / "release.csv"
+        main(["anonymize", "--input", str(private_path), "--output", str(release_path), "--k", "3"])
+        low, high = faculty_population.assumed_salary_range
+        exit_code = main(
+            [
+                "attack", "--release", str(release_path), "--auxiliary", str(aux_path),
+                "--sensitive-low", str(low), "--sensitive-high", str(high),
+            ]
+        )
+        assert exit_code == 0
+        assert "sensitive_estimate" in capsys.readouterr().out
+
+    def test_invalid_range(self, csv_paths, tmp_path, capsys):
+        private_path, aux_path = csv_paths
+        release_path = tmp_path / "release.csv"
+        main(["anonymize", "--input", str(private_path), "--output", str(release_path), "--k", "3"])
+        exit_code = main(
+            [
+                "attack", "--release", str(release_path), "--auxiliary", str(aux_path),
+                "--sensitive-low", "10", "--sensitive-high", "5",
+            ]
+        )
+        assert exit_code == 2
+
+
+class TestFredCommand:
+    def test_selects_level_and_writes_release(self, csv_paths, tmp_path, capsys):
+        private_path, aux_path = csv_paths
+        output = tmp_path / "fused.csv"
+        exit_code = main(
+            [
+                "fred", "--input", str(private_path), "--auxiliary", str(aux_path),
+                "--kmin", "2", "--kmax", "5", "--output", str(output),
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "optimal level" in out
+        release = read_csv(output)
+        assert "salary" not in release.schema
+        assert is_k_anonymous(release, 2)

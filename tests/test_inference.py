@@ -1,0 +1,166 @@
+"""Unit tests for the Mamdani inference engine and defuzzification."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FuzzyDefinitionError, FuzzyEvaluationError
+from repro.fuzzy.defuzzify import STRATEGIES, bisector, centroid, defuzzify, mean_of_maxima
+from repro.fuzzy.inference import MamdaniSystem
+from repro.fuzzy.rules import parse_rules
+from repro.fuzzy.variables import LinguisticVariable
+
+
+@pytest.fixture()
+def income_system() -> MamdaniSystem:
+    """A small 2-input income estimator in the style of the paper's Figure 2."""
+    valuation = LinguisticVariable.with_uniform_terms("valuation", (1, 10), ("low", "medium", "high"))
+    property_holdings = LinguisticVariable.with_uniform_terms(
+        "property", (0, 6000), ("low", "medium", "high")
+    )
+    income = LinguisticVariable.with_uniform_terms(
+        "income", (40_000, 160_000), ("low", "medium", "high")
+    )
+    rules = parse_rules(
+        [
+            "IF valuation IS low THEN income IS low",
+            "IF valuation IS medium THEN income IS medium",
+            "IF valuation IS high THEN income IS high",
+            "IF property IS low THEN income IS low",
+            "IF property IS medium THEN income IS medium",
+            "IF property IS high THEN income IS high",
+        ]
+    )
+    return MamdaniSystem(
+        inputs={"valuation": valuation, "property": property_holdings},
+        output=income,
+        rules=rules,
+    )
+
+
+class TestDefuzzify:
+    def test_centroid_of_symmetric_curve(self):
+        universe = np.linspace(0, 10, 101)
+        membership = np.exp(-0.5 * ((universe - 5) / 1.0) ** 2)
+        assert centroid(universe, membership) == pytest.approx(5.0, abs=1e-6)
+
+    def test_bisector_of_symmetric_curve(self):
+        universe = np.linspace(0, 10, 1001)
+        membership = np.exp(-0.5 * ((universe - 5) / 1.0) ** 2)
+        assert bisector(universe, membership) == pytest.approx(5.0, abs=0.05)
+
+    def test_mean_of_maxima_plateau(self):
+        universe = np.linspace(0, 10, 101)
+        membership = np.where((universe >= 4) & (universe <= 6), 1.0, 0.0)
+        assert mean_of_maxima(universe, membership) == pytest.approx(5.0, abs=1e-6)
+
+    def test_all_strategies_registered(self):
+        assert set(STRATEGIES) == {"centroid", "bisector", "mom"}
+
+    def test_zero_curve_rejected(self):
+        universe = np.linspace(0, 1, 11)
+        with pytest.raises(FuzzyEvaluationError):
+            centroid(universe, np.zeros_like(universe))
+        with pytest.raises(FuzzyEvaluationError):
+            bisector(universe, np.zeros_like(universe))
+        with pytest.raises(FuzzyEvaluationError):
+            mean_of_maxima(universe, np.zeros_like(universe))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(FuzzyEvaluationError):
+            centroid(np.linspace(0, 1, 5), np.zeros(4))
+
+    def test_unknown_strategy(self):
+        universe = np.linspace(0, 1, 11)
+        with pytest.raises(FuzzyEvaluationError):
+            defuzzify(universe, np.ones_like(universe), strategy="median")
+
+
+class TestMamdaniSystem:
+    def test_high_inputs_give_high_estimate(self, income_system):
+        high = income_system.evaluate({"valuation": 9.5, "property": 5_800})
+        low = income_system.evaluate({"valuation": 1.5, "property": 300})
+        assert high > low
+        assert high > 100_000
+        assert low < 100_000
+
+    def test_output_stays_inside_universe(self, income_system):
+        for valuation in (1, 3, 5, 7, 10):
+            for prop in (0, 1000, 3000, 6000):
+                estimate = income_system.evaluate({"valuation": valuation, "property": prop})
+                assert 40_000 <= estimate <= 160_000
+
+    def test_monotone_in_valuation(self, income_system):
+        estimates = [
+            income_system.evaluate({"valuation": v, "property": 3000}) for v in (1, 3, 5, 7, 9, 10)
+        ]
+        assert all(b >= a - 1e-6 for a, b in zip(estimates, estimates[1:]))
+
+    def test_missing_input_treated_as_uninformative(self, income_system):
+        with_both = income_system.evaluate({"valuation": 9.5, "property": 5_800})
+        missing_property = income_system.evaluate({"valuation": 9.5, "property": None})
+        nan_property = income_system.evaluate({"valuation": 9.5, "property": float("nan")})
+        assert missing_property == pytest.approx(nan_property)
+        # dropping a concordant signal moves the estimate toward the middle
+        assert missing_property <= with_both + 1e-6
+
+    def test_unknown_input_rejected(self, income_system):
+        with pytest.raises(FuzzyEvaluationError):
+            income_system.evaluate({"valuation": 5, "bogus": 1})
+
+    def test_empty_rule_base_rejected(self, income_system):
+        empty = MamdaniSystem(
+            inputs=income_system.inputs, output=income_system.output, rules=[]
+        )
+        with pytest.raises(FuzzyEvaluationError):
+            empty.evaluate({"valuation": 5, "property": 100})
+
+    def test_no_rule_fires_falls_back_to_midpoint(self, income_system):
+        # All inputs missing -> every term has membership 1, so rules do fire;
+        # instead force zero firing by weighting conditions at zero membership.
+        estimate = income_system.evaluate({"valuation": None, "property": None})
+        assert 40_000 <= estimate <= 160_000
+
+    def test_trace_exposes_intermediate_state(self, income_system):
+        trace = income_system.trace({"valuation": 9, "property": 5000})
+        assert set(trace.fuzzified) == {"valuation", "property"}
+        assert len(trace.firing_strengths) == len(income_system.rules)
+        assert trace.aggregated.max() > 0
+        assert trace.output == income_system.evaluate({"valuation": 9, "property": 5000})
+
+    def test_evaluate_batch(self, income_system):
+        records = [{"valuation": 2, "property": 500}, {"valuation": 9, "property": 5500}]
+        estimates = income_system.evaluate_batch(records)
+        assert estimates.shape == (2,)
+        assert estimates[1] > estimates[0]
+
+    def test_add_rule_validates(self, income_system):
+        from repro.fuzzy.rules import parse_rule
+
+        with pytest.raises(FuzzyDefinitionError):
+            income_system.add_rule(parse_rule("IF bogus IS high THEN income IS high"))
+
+    def test_input_key_must_match_variable_name(self):
+        variable = LinguisticVariable.with_uniform_terms("x", (0, 1), ("low", "high"))
+        output = LinguisticVariable.with_uniform_terms("y", (0, 1), ("low", "high"))
+        with pytest.raises(FuzzyDefinitionError):
+            MamdaniSystem(inputs={"wrong": variable}, output=output, rules=[])
+
+    def test_describe_lists_rules(self, income_system):
+        text = income_system.describe()
+        assert "valuation" in text
+        assert "rule:" in text
+
+    def test_defuzzification_strategies_differ_but_agree_on_direction(self, income_system):
+        mom_system = MamdaniSystem(
+            inputs=income_system.inputs,
+            output=income_system.output,
+            rules=list(income_system.rules),
+            defuzzification="mom",
+        )
+        high_centroid = income_system.evaluate({"valuation": 9.5, "property": 5_800})
+        high_mom = mom_system.evaluate({"valuation": 9.5, "property": 5_800})
+        low_mom = mom_system.evaluate({"valuation": 1.5, "property": 200})
+        assert high_mom > low_mom
+        assert abs(high_mom - high_centroid) < 60_000

@@ -1,0 +1,99 @@
+"""Unit tests for repro.dataset.io (CSV round-tripping)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataset.generalization import SUPPRESSED, CategorySet, Interval
+from repro.dataset.io import parse_cell, read_csv, render_cell, write_csv
+from repro.dataset.schema import AttributeKind
+from repro.exceptions import TableError
+
+
+class TestCellRendering:
+    def test_render_plain_values(self):
+        assert render_cell(5.0) == "5"
+        assert render_cell(5.25) == "5.25"
+        assert render_cell("text") == "text"
+        assert render_cell(None) == ""
+
+    def test_render_generalized(self):
+        assert render_cell(Interval(1, 3)) == "[1-3]"
+        assert render_cell(SUPPRESSED) == "*"
+
+    def test_parse_numbers(self):
+        assert parse_cell("5", AttributeKind.NUMERIC) == 5
+        assert parse_cell("5.5", AttributeKind.NUMERIC) == 5.5
+        assert parse_cell("-2", AttributeKind.NUMERIC) == -2
+
+    def test_parse_interval(self):
+        assert parse_cell("[1-3]", AttributeKind.NUMERIC) == Interval(1, 3)
+        assert parse_cell("[1.5-2.5]", AttributeKind.NUMERIC) == Interval(1.5, 2.5)
+
+    def test_parse_category_set(self):
+        parsed = parse_cell("{a, b}", AttributeKind.CATEGORICAL)
+        assert isinstance(parsed, CategorySet)
+        assert parsed.members == ("a", "b")
+
+    def test_parse_suppressed_and_empty(self):
+        assert parse_cell("*", AttributeKind.NUMERIC) is SUPPRESSED
+        assert parse_cell("", AttributeKind.NUMERIC) is None
+
+    def test_parse_text_kind_keeps_digit_strings(self):
+        assert parse_cell("007", AttributeKind.TEXT) == "007"
+
+
+class TestRoundTrip:
+    def test_plain_table_round_trip(self, simple_table, tmp_path):
+        path = write_csv(simple_table, tmp_path / "table.csv")
+        loaded = read_csv(path)
+        assert loaded.schema.names == simple_table.schema.names
+        assert loaded.num_rows == simple_table.num_rows
+        assert loaded.column("name") == simple_table.column("name")
+        assert loaded.numeric_column("salary").tolist() == simple_table.numeric_column("salary").tolist()
+
+    def test_roles_survive_round_trip(self, simple_table, tmp_path):
+        loaded = read_csv(write_csv(simple_table, tmp_path / "table.csv"))
+        assert loaded.schema.identifiers == simple_table.schema.identifiers
+        assert loaded.schema.sensitive_attributes == simple_table.schema.sensitive_attributes
+
+    def test_generalized_cells_round_trip(self, simple_table, tmp_path):
+        release = simple_table.replace_column(
+            "age", [Interval(20, 30), Interval(30, 40), SUPPRESSED, 44, 52, 58]
+        )
+        loaded = read_csv(write_csv(release, tmp_path / "release.csv"))
+        assert loaded.cell(0, "age") == Interval(20, 30)
+        assert loaded.cell(2, "age") is SUPPRESSED
+        assert loaded.cell(3, "age") == 44
+
+    def test_nested_directory_created(self, simple_table, tmp_path):
+        path = write_csv(simple_table, tmp_path / "deep" / "dir" / "t.csv")
+        assert path.exists()
+
+
+class TestReadErrors:
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "broken.csv"
+        path.write_text("only-one-line\n", encoding="utf-8")
+        with pytest.raises(TableError):
+            read_csv(path)
+
+    def test_header_mismatch(self, tmp_path):
+        path = tmp_path / "broken.csv"
+        path.write_text("a,b\nidentifier:text\n", encoding="utf-8")
+        with pytest.raises(TableError):
+            read_csv(path)
+
+    def test_bad_declaration(self, tmp_path):
+        path = tmp_path / "broken.csv"
+        path.write_text("a\nnot-a-declaration\n", encoding="utf-8")
+        with pytest.raises(TableError):
+            read_csv(path)
+
+    def test_ragged_row(self, tmp_path):
+        path = tmp_path / "broken.csv"
+        path.write_text(
+            "a,b\nidentifier:text,sensitive:numeric\nx,1,extra\n", encoding="utf-8"
+        )
+        with pytest.raises(TableError, match="line 3"):
+            read_csv(path)

@@ -1,0 +1,118 @@
+"""Unit tests for l-diversity and t-closeness predicates."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.anonymize.base import AnonymizationResult, EquivalenceClass, build_release
+from repro.anonymize.ldiversity import (
+    discretize_sensitive,
+    distinct_diversity,
+    entropy_diversity,
+    is_distinct_l_diverse,
+    is_entropy_l_diverse,
+)
+from repro.anonymize.mdav import MDAVAnonymizer
+from repro.anonymize.tcloseness import closeness, is_t_close, ordered_emd
+from repro.exceptions import MetricError
+
+
+@pytest.fixture()
+def simple_result(simple_table):
+    classes = [EquivalenceClass((0, 1, 2)), EquivalenceClass((3, 4, 5))]
+    release = build_release(simple_table, classes, k=3)
+    return AnonymizationResult(
+        original=simple_table, release=release, classes=classes, k=3, anonymizer="test"
+    )
+
+
+class TestDiscretization:
+    def test_labels_cover_all_bins(self, faculty_population):
+        labels = discretize_sensitive(faculty_population.private, bins=4)
+        assert set(labels) == {0, 1, 2, 3}
+        assert len(labels) == faculty_population.private.num_rows
+
+    def test_quantile_bins_are_balanced(self, faculty_population):
+        labels = discretize_sensitive(faculty_population.private, bins=4)
+        counts = Counter(labels)
+        assert max(counts.values()) - min(counts.values()) <= 2
+
+    def test_requires_two_bins(self, simple_table):
+        with pytest.raises(MetricError):
+            discretize_sensitive(simple_table, bins=1)
+
+
+class TestDiversity:
+    def test_distinct_diversity_counts_minimum(self):
+        labels = [0, 0, 1, 2, 2, 2]
+        classes = [EquivalenceClass((0, 1, 2)), EquivalenceClass((3, 4, 5))]
+        # first class has {0, 1} -> 2 distinct; second has {2} -> 1 distinct
+        assert distinct_diversity(labels, classes) == 1
+
+    def test_entropy_diversity_bounds(self):
+        labels = [0, 1, 2, 0, 1, 2]
+        classes = [EquivalenceClass((0, 1, 2)), EquivalenceClass((3, 4, 5))]
+        value = entropy_diversity(labels, classes)
+        assert value == pytest.approx(3.0)  # uniform over 3 values per class
+
+    def test_entropy_diversity_single_value_class(self):
+        labels = [0, 0, 0, 1, 2, 3]
+        classes = [EquivalenceClass((0, 1, 2)), EquivalenceClass((3, 4, 5))]
+        assert entropy_diversity(labels, classes) == pytest.approx(1.0)
+
+    def test_empty_classes_rejected(self):
+        with pytest.raises(MetricError):
+            distinct_diversity([0], [])
+        with pytest.raises(MetricError):
+            entropy_diversity([0], [])
+
+    def test_result_level_checks(self, simple_result):
+        assert is_distinct_l_diverse(simple_result, 1)
+        assert not is_distinct_l_diverse(simple_result, 10)
+        assert is_entropy_l_diverse(simple_result, 1.0)
+
+    def test_mdav_result_diversity_monotone_in_l(self, faculty_population):
+        result = MDAVAnonymizer().anonymize(faculty_population.private, 4)
+        assert is_distinct_l_diverse(result, 1)
+        # if it satisfies l=3 it must satisfy l=2
+        if is_distinct_l_diverse(result, 3):
+            assert is_distinct_l_diverse(result, 2)
+
+
+class TestCloseness:
+    def test_identical_distributions_have_zero_emd(self):
+        counts = Counter({0: 5, 1: 5})
+        assert ordered_emd(counts, counts, bins=2) == pytest.approx(0.0)
+
+    def test_maximally_separated_distributions(self):
+        class_counts = Counter({0: 10})
+        global_counts = Counter({4: 10})
+        assert ordered_emd(class_counts, global_counts, bins=5) == pytest.approx(1.0)
+
+    def test_emd_requires_nonempty(self):
+        with pytest.raises(MetricError):
+            ordered_emd(Counter(), Counter({0: 1}), bins=2)
+        with pytest.raises(MetricError):
+            ordered_emd(Counter({0: 1}), Counter({0: 1}), bins=1)
+
+    def test_closeness_is_max_over_classes(self):
+        labels = [0, 0, 0, 4, 4, 4]
+        classes = [EquivalenceClass((0, 1, 2)), EquivalenceClass((3, 4, 5))]
+        value = closeness(labels, classes, bins=5)
+        assert 0.0 < value <= 1.0
+
+    def test_single_class_release_is_perfectly_close(self, simple_table):
+        classes = [EquivalenceClass(tuple(range(6)))]
+        release = build_release(simple_table, classes, k=6)
+        result = AnonymizationResult(
+            original=simple_table, release=release, classes=classes, k=6, anonymizer="test"
+        )
+        assert is_t_close(result, t=1e-9)
+
+    def test_t_close_monotone_in_t(self, simple_result):
+        # if a release is t-close for a small t it is t-close for any larger t
+        if is_t_close(simple_result, 0.2):
+            assert is_t_close(simple_result, 0.5)
+        assert is_t_close(simple_result, 1.0)

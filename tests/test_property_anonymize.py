@@ -1,0 +1,111 @@
+"""Property-based tests (hypothesis) for anonymizers and privacy metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.anonymize.kanonymity import anonymity_level, is_k_anonymous
+from repro.anonymize.mdav import MDAVAnonymizer, _mdav_groups
+from repro.anonymize.mondrian import MondrianAnonymizer
+from repro.dataset.schema import Attribute, AttributeKind, AttributeRole, Schema
+from repro.dataset.table import Table
+from repro.metrics.dissimilarity import mean_square_dissimilarity
+from repro.metrics.utility import discernibility_cost
+
+
+def _random_table(values: list[list[float]]) -> Table:
+    schema = Schema(
+        [
+            Attribute("name", AttributeRole.IDENTIFIER, AttributeKind.TEXT),
+            Attribute("q1", AttributeRole.QUASI_IDENTIFIER),
+            Attribute("q2", AttributeRole.QUASI_IDENTIFIER),
+            Attribute("sensitive", AttributeRole.SENSITIVE),
+        ]
+    )
+    rows = [
+        {"name": f"person {i}", "q1": row[0], "q2": row[1], "sensitive": row[2]}
+        for i, row in enumerate(values)
+    ]
+    return Table.from_rows(schema, rows)
+
+
+row_strategy = st.lists(
+    st.lists(
+        st.floats(min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False),
+        min_size=3,
+        max_size=3,
+    ),
+    min_size=4,
+    max_size=24,
+)
+
+
+class TestMDAVProperties:
+    @given(row_strategy, st.integers(min_value=2, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_partition_is_valid_and_release_k_anonymous(self, rows, k):
+        table = _random_table(rows)
+        if k > table.num_rows:
+            return
+        result = MDAVAnonymizer().anonymize(table, k)
+        covered = sorted(i for c in result.classes for i in c.indices)
+        assert covered == list(range(table.num_rows))
+        assert result.minimum_class_size >= k
+        assert is_k_anonymous(result.release, k)
+        assert anonymity_level(result.release) >= k
+
+    @given(
+        st.integers(min_value=6, max_value=40),
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_group_size_bounds(self, n, k, seed):
+        if k > n:
+            return
+        points = np.random.default_rng(seed).normal(size=(n, 3))
+        groups = _mdav_groups(points, k)
+        sizes = [len(g) for g in groups]
+        assert sum(sizes) == n
+        assert min(sizes) >= k
+        assert max(sizes) <= 2 * k - 1
+
+
+class TestMondrianProperties:
+    @given(row_strategy, st.integers(min_value=2, max_value=3))
+    @settings(max_examples=30, deadline=None)
+    def test_partition_respects_k(self, rows, k):
+        table = _random_table(rows)
+        if k > table.num_rows:
+            return
+        result = MondrianAnonymizer().anonymize(table, k)
+        assert result.minimum_class_size >= k
+        assert sum(result.class_sizes) == table.num_rows
+
+
+class TestMetricProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=-1e5, max_value=1e5, allow_nan=False, allow_infinity=False),
+            min_size=2,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=60)
+    def test_dissimilarity_nonnegative_and_zero_on_identity(self, values):
+        vector = np.asarray(values, dtype=float)
+        assert mean_square_dissimilarity(vector, vector) == 0.0
+        shifted = vector + 1.0
+        assert mean_square_dissimilarity(vector, shifted) > 0.0
+
+    @given(st.lists(st.integers(min_value=1, max_value=30), min_size=1, max_size=20),
+           st.integers(min_value=1, max_value=10))
+    @settings(max_examples=60)
+    def test_discernibility_cost_bounds(self, sizes, k):
+        total = sum(sizes)
+        cost = discernibility_cost(sizes, total_records=total, k=k)
+        # lower bound: every record in a size-1 class at k=1; upper bound: one
+        # giant class (n^2) or full penalty (n * n)
+        assert total <= cost <= float(total) ** 2

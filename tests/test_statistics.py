@@ -1,0 +1,64 @@
+"""Unit tests for repro.dataset.statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataset.statistics import standardize_matrix, summarize_column, summarize_table
+from repro.exceptions import MetricError
+
+
+class TestSummaries:
+    def test_summarize_column_values(self, simple_table):
+        summary = summarize_column(simple_table, "age")
+        assert summary.count == 6
+        assert summary.minimum == 25
+        assert summary.maximum == 58
+        assert summary.quartiles[1] == pytest.approx(np.median([25, 31, 37, 44, 52, 58]))
+
+    def test_summarize_column_drops_nan(self, simple_table):
+        from repro.dataset.generalization import SUPPRESSED
+
+        partially_suppressed = simple_table.replace_column(
+            "age", [SUPPRESSED, 31, 37, 44, 52, 58]
+        )
+        summary = summarize_column(partially_suppressed, "age")
+        assert summary.count == 5
+        assert summary.minimum == 31
+
+    def test_summarize_column_empty_raises(self, simple_table):
+        from repro.dataset.generalization import SUPPRESSED
+
+        all_suppressed = simple_table.replace_column("age", [SUPPRESSED] * 6)
+        with pytest.raises(MetricError):
+            summarize_column(all_suppressed, "age")
+
+    def test_summarize_table_covers_numeric_roles(self, simple_table):
+        summaries = summarize_table(simple_table)
+        assert set(summaries) == {"age", "salary"}
+
+    def test_describe_renders(self, simple_table):
+        text = summarize_column(simple_table, "salary").describe()
+        assert "salary" in text
+        assert "mean" in text
+
+
+class TestStandardize:
+    def test_standardized_columns_have_zero_mean_unit_std(self, rng):
+        matrix = rng.normal(10, 3, size=(50, 4))
+        standardized, means, stds = standardize_matrix(matrix)
+        assert np.allclose(standardized.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(standardized.std(axis=0), 1.0, atol=1e-9)
+        assert means.shape == (4,)
+        assert stds.shape == (4,)
+
+    def test_constant_column_does_not_produce_nan(self):
+        matrix = np.column_stack([np.ones(10), np.arange(10, dtype=float)])
+        standardized, _, stds = standardize_matrix(matrix)
+        assert not np.isnan(standardized).any()
+        assert stds[0] == 1.0
+
+    def test_requires_2d(self):
+        with pytest.raises(MetricError):
+            standardize_matrix(np.arange(5, dtype=float))

@@ -1,0 +1,260 @@
+"""Unit tests for repro.dataset.table."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataset.generalization import SUPPRESSED, Interval
+from repro.dataset.schema import Attribute, AttributeKind, AttributeRole, Schema
+from repro.dataset.table import Table
+from repro.exceptions import SchemaError, TableError
+
+
+class TestConstruction:
+    def test_from_columns(self, simple_schema):
+        table = Table(
+            simple_schema,
+            {
+                "name": ["A B", "C D"],
+                "age": [30, 40],
+                "city": ["X", "Y"],
+                "salary": [50_000, 60_000],
+            },
+        )
+        assert table.num_rows == 2
+        assert table.num_columns == 4
+
+    def test_missing_column_rejected(self, simple_schema):
+        with pytest.raises(TableError, match="missing columns"):
+            Table(simple_schema, {"name": ["A"], "age": [1], "city": ["X"]})
+
+    def test_extra_column_rejected(self, simple_schema):
+        with pytest.raises(TableError, match="not declared"):
+            Table(
+                simple_schema,
+                {
+                    "name": ["A"],
+                    "age": [1],
+                    "city": ["X"],
+                    "salary": [1],
+                    "extra": [1],
+                },
+            )
+
+    def test_ragged_columns_rejected(self, simple_schema):
+        with pytest.raises(TableError, match="inconsistent lengths"):
+            Table(
+                simple_schema,
+                {"name": ["A"], "age": [1, 2], "city": ["X"], "salary": [1]},
+            )
+
+    def test_from_rows_sequences(self, simple_schema):
+        table = Table.from_rows(simple_schema, [["A", 1, "X", 10.0], ["B", 2, "Y", 20.0]])
+        assert table.column("age") == [1, 2]
+
+    def test_from_rows_wrong_arity(self, simple_schema):
+        with pytest.raises(TableError):
+            Table.from_rows(simple_schema, [["A", 1, "X"]])
+
+    def test_from_rows_missing_key(self, simple_schema):
+        with pytest.raises(TableError):
+            Table.from_rows(simple_schema, [{"name": "A", "age": 1, "city": "X"}])
+
+    def test_columns_are_copied(self, simple_schema):
+        source = [1, 2]
+        table = Table(
+            simple_schema,
+            {"name": ["A", "B"], "age": source, "city": ["X", "Y"], "salary": [1, 2]},
+        )
+        source.append(3)
+        assert table.num_rows == 2
+        column = table.column("age")
+        column.append(99)
+        assert table.column("age") == [1, 2]
+
+    def test_equality(self, simple_table):
+        same = Table(simple_table.schema, {n: simple_table.column(n) for n in simple_table.schema.names})
+        assert simple_table == same
+        assert simple_table != 5
+
+
+class TestAccess:
+    def test_row_and_cell(self, simple_table):
+        row = simple_table.row(0)
+        assert row["name"] == "Ana Ruiz"
+        assert simple_table.cell(0, "age") == 25
+        with pytest.raises(TableError):
+            simple_table.row(99)
+        with pytest.raises(TableError):
+            simple_table.cell(0, "missing")
+        with pytest.raises(TableError):
+            simple_table.cell(99, "age")
+
+    def test_rows_and_iteration(self, simple_table):
+        rows = simple_table.rows()
+        assert len(rows) == len(simple_table) == 6
+        assert [r["name"] for r in simple_table] == [r["name"] for r in rows]
+
+    def test_unknown_column(self, simple_table):
+        with pytest.raises(TableError):
+            simple_table.column("missing")
+
+    def test_numeric_column_resolves_generalized_cells(self, simple_table):
+        release = simple_table.replace_column("age", [Interval(20, 30)] * 6)
+        values = release.numeric_column("age")
+        assert np.allclose(values, 25.0)
+
+    def test_numeric_column_nan_for_suppressed(self, simple_table):
+        release = simple_table.replace_column("age", [SUPPRESSED] * 6)
+        assert np.isnan(release.numeric_column("age")).all()
+
+
+class TestRelationalOperations:
+    def test_project_and_drop(self, simple_table):
+        projected = simple_table.project(["name", "salary"])
+        assert projected.schema.names == ("name", "salary")
+        dropped = simple_table.drop_columns(["salary"])
+        assert "salary" not in dropped.schema
+
+    def test_select(self, simple_table):
+        young = simple_table.select(lambda row: row["age"] < 40)
+        assert young.num_rows == 3
+
+    def test_take_preserves_order(self, simple_table):
+        taken = simple_table.take([3, 0])
+        assert [r["name"] for r in taken.rows()] == ["Dan Evans", "Ana Ruiz"]
+        with pytest.raises(TableError):
+            simple_table.take([99])
+
+    def test_sort_by(self, simple_table):
+        by_salary = simple_table.sort_by("salary", reverse=True)
+        salaries = [r["salary"] for r in by_salary.rows()]
+        assert salaries == sorted(salaries, reverse=True)
+
+    def test_with_column(self, simple_table):
+        extended = simple_table.with_column(
+            Attribute("bonus", AttributeRole.INSENSITIVE), [1] * 6
+        )
+        assert "bonus" in extended.schema
+        with pytest.raises(TableError):
+            simple_table.with_column(Attribute("age", AttributeRole.INSENSITIVE), [1] * 6)
+        with pytest.raises(TableError):
+            simple_table.with_column(Attribute("bonus", AttributeRole.INSENSITIVE), [1])
+
+    def test_replace_column(self, simple_table):
+        replaced = simple_table.replace_column("age", [0] * 6)
+        assert set(replaced.column("age")) == {0}
+        with pytest.raises(TableError):
+            simple_table.replace_column("missing", [0] * 6)
+        with pytest.raises(TableError):
+            simple_table.replace_column("age", [0])
+
+    def test_rename(self, simple_table):
+        renamed = simple_table.rename({"age": "years"})
+        assert "years" in renamed.schema
+        assert "age" not in renamed.schema
+        assert renamed.schema["years"].role is AttributeRole.QUASI_IDENTIFIER
+
+    def test_concat(self, simple_table):
+        doubled = simple_table.concat(simple_table)
+        assert doubled.num_rows == 12
+        other = simple_table.project(["name", "age"])
+        with pytest.raises(TableError):
+            simple_table.concat(other)
+
+    def test_inner_join(self, simple_table):
+        extra_schema = Schema(
+            [
+                Attribute("name", AttributeRole.IDENTIFIER, AttributeKind.TEXT),
+                Attribute("pets", AttributeRole.INSENSITIVE),
+            ]
+        )
+        extra = Table.from_rows(
+            extra_schema, [{"name": "Ana Ruiz", "pets": 2}, {"name": "Finn Gray", "pets": 0}]
+        )
+        joined = simple_table.join(extra, on="name", how="inner")
+        assert joined.num_rows == 2
+        assert set(joined.column("pets")) == {0, 2}
+
+    def test_left_join_fills_none(self, simple_table):
+        extra_schema = Schema(
+            [
+                Attribute("name", AttributeRole.IDENTIFIER, AttributeKind.TEXT),
+                Attribute("pets", AttributeRole.INSENSITIVE),
+            ]
+        )
+        extra = Table.from_rows(extra_schema, [{"name": "Ana Ruiz", "pets": 2}])
+        joined = simple_table.join(extra, on="name", how="left")
+        assert joined.num_rows == 6
+        assert joined.column("pets").count(None) == 5
+
+    def test_join_validations(self, simple_table):
+        extra_schema = Schema(
+            [
+                Attribute("name", AttributeRole.IDENTIFIER, AttributeKind.TEXT),
+                Attribute("age", AttributeRole.INSENSITIVE),
+            ]
+        )
+        extra = Table.from_rows(extra_schema, [{"name": "Ana Ruiz", "age": 1}])
+        with pytest.raises(TableError, match="duplicate"):
+            simple_table.join(extra, on="name")
+        duplicated_keys = Table.from_rows(
+            Schema(
+                [
+                    Attribute("name", AttributeRole.IDENTIFIER, AttributeKind.TEXT),
+                    Attribute("pets", AttributeRole.INSENSITIVE),
+                ]
+            ),
+            [{"name": "Ana Ruiz", "pets": 1}, {"name": "Ana Ruiz", "pets": 2}],
+        )
+        with pytest.raises(TableError, match="not unique"):
+            simple_table.join(duplicated_keys, on="name")
+        with pytest.raises(TableError, match="unsupported join"):
+            simple_table.join(duplicated_keys, on="name", how="outer")
+
+
+class TestPrivacyViews:
+    def test_quasi_identifier_matrix(self, simple_table):
+        matrix = simple_table.quasi_identifier_matrix()
+        assert matrix.shape == (6, 1)  # 'city' is categorical, excluded
+
+    def test_quasi_identifier_matrix_requires_numeric_qi(self, simple_table):
+        no_numeric = simple_table.project(["name", "city", "salary"])
+        with pytest.raises(SchemaError):
+            no_numeric.quasi_identifier_matrix()
+
+    def test_sensitive_vector(self, simple_table):
+        vector = simple_table.sensitive_vector()
+        assert vector.shape == (6,)
+        assert vector[0] == 52_000.0
+
+    def test_identifier_column(self, simple_table):
+        assert simple_table.identifier_column()[0] == "Ana Ruiz"
+        no_identifier = simple_table.project(["age", "salary"])
+        with pytest.raises(SchemaError):
+            no_identifier.identifier_column()
+
+    def test_release_view_drops_sensitive(self, simple_table):
+        release = simple_table.release_view()
+        assert "salary" not in release.schema
+        assert release.num_rows == simple_table.num_rows
+
+    def test_release_view_keep_sensitive(self, simple_table):
+        assert "salary" in simple_table.release_view(keep_sensitive=True).schema
+
+
+class TestRendering:
+    def test_to_text_contains_all_columns(self, simple_table):
+        text = simple_table.to_text()
+        for name in simple_table.schema.names:
+            assert name in text
+
+    def test_to_text_truncates(self, simple_table):
+        text = simple_table.to_text(max_rows=2)
+        assert "more rows" in text
+
+    def test_to_records_round_trip(self, simple_table):
+        records = simple_table.to_records()
+        rebuilt = Table.from_records(simple_table.schema, records)
+        assert rebuilt == simple_table
