@@ -104,6 +104,12 @@ def build_parser() -> argparse.ArgumentParser:
     fred.add_argument("--utility-weight", type=float, default=0.5, help="W2")
     fred.add_argument("--protection-threshold", type=float, default=None, help="Tp")
     fred.add_argument("--utility-threshold", type=float, default=None, help="Tu")
+    fred.add_argument(
+        "--parallelism",
+        type=int,
+        default=1,
+        help="number of anonymization levels to evaluate concurrently",
+    )
     return parser
 
 
@@ -209,6 +215,7 @@ def _command_fred(arguments: argparse.Namespace) -> int:
             utility_threshold=arguments.utility_threshold,
             objective=WeightedObjective(arguments.protection_weight, arguments.utility_weight),
             stop_below_utility=arguments.utility_threshold is not None,
+            parallelism=arguments.parallelism,
         ),
     )
     result = fred.run(private)

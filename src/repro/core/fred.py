@@ -13,10 +13,27 @@ floor ``Tp`` and a utility floor ``Tu``::
 The sweep ascends through the configured levels and — following the paper's
 do/until loop — stops as soon as the utility of a candidate release falls
 below ``Tu`` (higher levels can only be worse for utility).
+
+Batch evaluation and the parallel sweep
+---------------------------------------
+Each level evaluation simulates the fusion attack **column-wise**: the attack
+assembles one ``(N,)`` float array per fusion input (NaN marking missing
+cells), the fuzzy engines form the ``(N, n_rules)`` firing-strength matrix and
+defuzzify every record in one vectorized pass (see
+:mod:`repro.fusion.attack`, *Batch data layout*).  On top of that, level
+evaluations are **independent jobs**: ``FREDConfig(parallelism=w)`` dispatches
+them across a ``concurrent.futures`` pool (``executor="thread"`` by default;
+``"process"`` for CPU-bound sweeps with picklable anonymizers/sources) and
+merges the results deterministically — outcomes are collected in level order
+and, when ``stop_below_utility`` is set, truncated after the first level whose
+utility falls below ``Tu``, so a parallel sweep returns exactly the outcomes a
+serial sweep would (levels past the stopping point are evaluated
+speculatively and discarded).
 """
 
 from __future__ import annotations
 
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
@@ -63,6 +80,18 @@ class FREDConfig:
         Mirror the paper's do/until loop by stopping the sweep at the first
         level whose utility drops below ``Tu``.  When False the whole sweep is
         evaluated regardless.
+    parallelism:
+        Number of anonymization levels to evaluate concurrently.  ``1``
+        (the default) keeps the historical serial sweep; larger values
+        dispatch level evaluations across a ``concurrent.futures`` pool with
+        a deterministic merge (see the module docstring).  With
+        ``stop_below_utility`` set, levels past the stopping point may be
+        evaluated speculatively but are discarded from the result.
+    executor:
+        Pool flavour for ``parallelism > 1``: ``"thread"`` (default; the
+        vectorized fusion kernels spend their time in numpy, which releases
+        the GIL) or ``"process"`` (requires the anonymizer, auxiliary source
+        and attack factory to be picklable).
     """
 
     levels: tuple[int, ...] = tuple(range(2, 17))
@@ -71,6 +100,8 @@ class FREDConfig:
     objective: WeightedObjective = field(default_factory=WeightedObjective)
     anonymizer: BaseAnonymizer = field(default_factory=MDAVAnonymizer)
     stop_below_utility: bool = True
+    parallelism: int = 1
+    executor: str = "thread"
 
     def __post_init__(self) -> None:
         if not self.levels:
@@ -81,6 +112,12 @@ class FREDConfig:
             raise FREDConfigurationError("anonymization levels must be ascending")
         if len(set(self.levels)) != len(self.levels):
             raise FREDConfigurationError("anonymization levels must be distinct")
+        if self.parallelism < 1:
+            raise FREDConfigurationError("parallelism must be >= 1")
+        if self.executor not in ("thread", "process"):
+            raise FREDConfigurationError(
+                f"unknown executor {self.executor!r}; options: ['process', 'thread']"
+            )
 
 
 @dataclass
@@ -162,6 +199,21 @@ class FREDResult:
         return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class _DefaultAttackFactory:
+    """Builds the standard attack for each level.
+
+    A module-level class (rather than a closure) so a ``FREDAnonymizer`` stays
+    picklable for ``executor="process"`` sweeps.
+    """
+
+    source: AuxiliarySource
+    attack_config: AttackConfig
+
+    def __call__(self) -> WebFusionAttack:
+        return WebFusionAttack(self.source, self.attack_config)
+
+
 class FREDAnonymizer:
     """Algorithm 1: iterative fusion-resilient anonymization.
 
@@ -190,8 +242,8 @@ class FREDAnonymizer:
         self.source = source
         self.attack_config = attack_config
         self.config = config or FREDConfig()
-        self._attack_factory = attack_factory or (
-            lambda: WebFusionAttack(self.source, self.attack_config)
+        self._attack_factory = attack_factory or _DefaultAttackFactory(
+            source, attack_config
         )
 
     # Single-level evaluation -----------------------------------------------------
@@ -231,18 +283,84 @@ class FREDAnonymizer:
     # Full sweep ------------------------------------------------------------------
 
     def sweep(self, private: Table, levels: Iterable[int] | None = None) -> list[LevelOutcome]:
-        """Evaluate every level (honouring the utility stopping rule)."""
+        """Evaluate every level (honouring the utility stopping rule).
+
+        With ``config.parallelism > 1`` the per-level evaluations — which are
+        independent jobs — run concurrently on a ``concurrent.futures`` pool
+        and are merged deterministically in level order; the utility stopping
+        rule is applied to the merged sequence, so the returned outcomes are
+        identical to a serial sweep's.
+        """
+        sweep_levels = list(levels if levels is not None else self.config.levels)
+        if self.config.parallelism <= 1 or len(sweep_levels) <= 1:
+            outcomes_in_order = self._sweep_serial(private, sweep_levels)
+        else:
+            outcomes_in_order = self._sweep_parallel(private, sweep_levels)
+        return self._apply_stop_rule(outcomes_in_order)
+
+    def _sweep_serial(self, private: Table, levels: Sequence[int]) -> list[LevelOutcome]:
+        """Evaluate levels one after another, honouring early stopping."""
         outcomes: list[LevelOutcome] = []
-        for level in levels if levels is not None else self.config.levels:
+        for level in levels:
             outcome = self.evaluate_level(private, level)
             outcomes.append(outcome)
-            if (
-                self.config.stop_below_utility
-                and self.config.utility_threshold is not None
-                and outcome.utility < self.config.utility_threshold
-            ):
+            if self._stops_sweep(outcome):
                 break
         return outcomes
+
+    def _sweep_parallel(
+        self, private: Table, levels: Sequence[int]
+    ) -> list[LevelOutcome | BaseException]:
+        """Evaluate all levels concurrently; results come back in level order.
+
+        Levels past a utility stop are evaluated speculatively (the merge in
+        :meth:`_apply_stop_rule` discards them), trading some wasted work for
+        wall-clock speed — the merged result is bit-identical to serial.
+        Per-level exceptions are captured rather than raised here: a failure
+        at a level the serial loop would never have reached (e.g. an
+        infeasible ``k`` past the utility stop) must not fail the sweep.
+        """
+        workers = min(self.config.parallelism, len(levels))
+        pool: Executor
+        if self.config.executor == "process":
+            pool = ProcessPoolExecutor(max_workers=workers)
+        else:
+            pool = ThreadPoolExecutor(max_workers=workers)
+        with pool:
+            futures = [pool.submit(self.evaluate_level, private, k) for k in levels]
+            results: list[LevelOutcome | BaseException] = []
+            for future in futures:
+                try:
+                    results.append(future.result())
+                except Exception as error:
+                    results.append(error)
+            return results
+
+    def _stops_sweep(self, outcome: LevelOutcome) -> bool:
+        return (
+            self.config.stop_below_utility
+            and self.config.utility_threshold is not None
+            and outcome.utility < self.config.utility_threshold
+        )
+
+    def _apply_stop_rule(
+        self, outcomes: Sequence[LevelOutcome | BaseException]
+    ) -> list[LevelOutcome]:
+        """Truncate an in-order outcome sequence after the first utility stop.
+
+        An exception entry re-raises only if it sits at or before the stop
+        point — exactly the level where the serial loop would have raised.
+        Speculatively-evaluated failures past the stop are discarded with the
+        rest of the tail.
+        """
+        merged: list[LevelOutcome] = []
+        for outcome in outcomes:
+            if isinstance(outcome, BaseException):
+                raise outcome
+            merged.append(outcome)
+            if self._stops_sweep(outcome):
+                break
+        return merged
 
     def run(self, private: Table) -> FREDResult:
         """Execute the full FRED optimization and return the sweep trace."""

@@ -270,6 +270,15 @@ class Table:
         }
         return Table(self._schema, columns)
 
+    def numeric_columns(self, names: Sequence[str]) -> dict[str, np.ndarray]:
+        """Several columns as ``(rows,)`` float arrays, resolving generalized cells.
+
+        This is the column-wise access path of the batch fusion engine: the
+        attack assembles its inputs directly from these arrays (NaN marking
+        suppressed / non-numeric cells) instead of iterating per-record dicts.
+        """
+        return {name: self.numeric_column(name) for name in names}
+
     # Privacy-specific views --------------------------------------------------------
 
     def quasi_identifier_matrix(self) -> np.ndarray:

@@ -133,8 +133,13 @@ class SweepData:
         }
 
 
-def run_sweep(setup: ExperimentSetup | None = None) -> SweepData:
-    """Run the k-sweep with the fusion attack simulated at every level."""
+def run_sweep(setup: ExperimentSetup | None = None, parallelism: int = 1) -> SweepData:
+    """Run the k-sweep with the fusion attack simulated at every level.
+
+    ``parallelism > 1`` evaluates the levels concurrently (they are
+    independent jobs); the per-level series are identical either way thanks to
+    FRED's deterministic merge.
+    """
     setup = setup or default_setup()
     fred = FREDAnonymizer(
         source=setup.corpus,
@@ -145,6 +150,7 @@ def run_sweep(setup: ExperimentSetup | None = None) -> SweepData:
             utility_threshold=None,
             objective=setup.objective,
             stop_below_utility=False,
+            parallelism=parallelism,
         ),
     )
     outcomes = fred.sweep(setup.population.private)

@@ -19,6 +19,21 @@ attribute for every release record:
 The result bundles ``P̂`` with the harvested auxiliary table, the per-record
 inputs and the fusion system itself so downstream metrics (dissimilarity,
 information gain) and the FRED optimizer can consume it.
+
+Batch data layout
+-----------------
+The fusion step is fully vectorized.  :meth:`WebFusionAttack.assemble_columns`
+builds one ``(N,)`` float array per fusion input — release quasi-identifiers
+come straight from :meth:`repro.dataset.table.Table.numeric_columns` (interval
+midpoints; NaN for suppressed cells) and auxiliary inputs from the harvested
+records (NaN when a person has no web match or the attribute is absent).
+NaN-masked columns replace the historical per-record ``None`` handling: the
+fuzzy engines fuzzify a NaN cell to full membership in every term, exactly as
+the scalar path treats ``None``.  The column block feeds
+``evaluate_batch``, which forms the ``(N, n_rules)`` firing-strength matrix
+and aggregates/defuzzifies all records at once; per-record dicts are only
+materialized for :attr:`AttackResult.records` (API compatibility and
+explanations).
 """
 
 from __future__ import annotations
@@ -33,6 +48,7 @@ from repro.exceptions import AttackConfigurationError
 from repro.fusion.auxiliary import AuxiliaryRecord, AuxiliarySource, auxiliary_table
 from repro.fusion.estimators import SensitiveEstimator
 from repro.fusion.rulegen import monotone_rules
+from repro.fuzzy.batch import as_columns, columns_to_records
 from repro.fuzzy.inference import MamdaniSystem
 from repro.fuzzy.rules import FuzzyRule, parse_rules
 from repro.fuzzy.tsk import SugenoSystem
@@ -205,10 +221,15 @@ class WebFusionAttack:
         table = auxiliary_table(found, list(self.config.auxiliary_inputs))
         return harvested, table
 
-    def assemble_records(
+    def assemble_columns(
         self, release: Table, harvested: Sequence[AuxiliaryRecord | None]
-    ) -> list[dict[str, float | None]]:
-        """Merge release quasi-identifiers and harvested attributes per record."""
+    ) -> dict[str, np.ndarray]:
+        """Merge release and harvested inputs column-wise into ``(N,)`` arrays.
+
+        Release inputs resolve generalized cells to numeric representatives
+        (NaN when suppressed); auxiliary inputs are NaN wherever the harvest
+        found nothing.  This is the batch layout the fusion engines consume.
+        """
         missing = [
             name for name in self.config.release_inputs if name not in release.schema
         ]
@@ -216,26 +237,39 @@ class WebFusionAttack:
             raise AttackConfigurationError(
                 f"release is missing configured input columns: {missing}"
             )
-        release_columns = {
-            name: release.numeric_column(name) for name in self.config.release_inputs
-        }
-        records: list[dict[str, float | None]] = []
-        for i in range(release.num_rows):
-            record: dict[str, float | None] = {}
-            for name in self.config.release_inputs:
-                value = float(release_columns[name][i])
-                record[name] = None if np.isnan(value) else value
-            auxiliary = harvested[i]
-            for name in self.config.auxiliary_inputs:
-                value = auxiliary.numeric_attribute(name) if auxiliary is not None else None
-                record[name] = value
-            records.append(record)
-        return records
+        columns = release.numeric_columns(self.config.release_inputs)
+        for name in self.config.auxiliary_inputs:
+            column = np.full(len(harvested), np.nan)
+            for i, auxiliary in enumerate(harvested):
+                if auxiliary is None:
+                    continue
+                value = auxiliary.numeric_attribute(name)
+                if value is not None:
+                    column[i] = value
+            columns[name] = column
+        return columns
+
+    def assemble_records(
+        self, release: Table, harvested: Sequence[AuxiliaryRecord | None]
+    ) -> list[dict[str, float | None]]:
+        """Merge release quasi-identifiers and harvested attributes per record.
+
+        Per-record view of :meth:`assemble_columns`, kept for explanations and
+        API compatibility (``NaN`` cells surface as ``None``).
+        """
+        return columns_to_records(self.assemble_columns(release, harvested))
 
     def calibrate_variables(
-        self, records: Sequence[Mapping[str, float | None]]
+        self,
+        records: Mapping[str, np.ndarray] | Sequence[Mapping[str, float | None]],
     ) -> tuple[dict[str, LinguisticVariable], LinguisticVariable]:
-        """Build input variables from observed marginals and the output variable."""
+        """Build input variables from observed marginals and the output variable.
+
+        ``records`` is a column block (or per-record mappings, normalized to
+        one); inputs without a fixed range are quantile-calibrated from the
+        non-NaN entries of their column.
+        """
+        _, columns = as_columns(records, self.config.all_inputs)
         term_names = tuple(self.config.input_terms)[: max(self.config.input_term_count, 2)]
         if len(term_names) < self.config.input_term_count:
             term_names = tuple(
@@ -249,12 +283,9 @@ class WebFusionAttack:
                     name, fixed_ranges[name], term_names
                 )
                 continue
-            values = [
-                record[name]
-                for record in records
-                if record.get(name) is not None
-            ]
-            if len([v for v in values if v is not None]) >= 2:
+            column = columns[name]
+            values = column[~np.isnan(column)]
+            if values.size >= 2:
                 inputs[name] = LinguisticVariable.from_values(name, values, term_names)
             else:
                 inputs[name] = LinguisticVariable.with_uniform_terms(
@@ -287,16 +318,25 @@ class WebFusionAttack:
     # End-to-end ---------------------------------------------------------------------
 
     def run(self, release: Table) -> AttackResult:
-        """Execute the attack on a release and return the adversary's estimates."""
+        """Execute the attack on a release and return the adversary's estimates.
+
+        The fusion inputs are assembled and evaluated column-wise (see the
+        module docstring's *Batch data layout*); the per-record dict view is
+        derived from the same columns for :attr:`AttackResult.records`.
+        """
         names = [str(n) for n in release.identifier_column()]
         harvested, harvested_table = self.harvest(names)
-        records = self.assemble_records(release, harvested)
+        columns = self.assemble_columns(release, harvested)
+        records = columns_to_records(columns)
 
         if self.config.engine == "custom":
             system: object = self.config.estimator
+            # Custom estimators keep the historical per-record contract (the
+            # built-in engines and estimators accept the column block too,
+            # but user-supplied ones may not).
             estimates = self.config.estimator.evaluate_batch(records)
         else:
-            inputs, output = self.calibrate_variables(records)
+            inputs, output = self.calibrate_variables(columns)
             rules = self.build_rules(inputs, output)
             system = build_income_fusion_system(
                 inputs,
@@ -305,7 +345,7 @@ class WebFusionAttack:
                 engine=self.config.engine,
                 defuzzification=self.config.defuzzification,
             )
-            estimates = system.evaluate_batch(records)
+            estimates = system.evaluate_batch(columns)
 
         return AttackResult(
             estimates=np.asarray(estimates, dtype=float),

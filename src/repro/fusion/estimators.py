@@ -15,8 +15,10 @@ same merged inputs (release quasi-identifiers + harvested web attributes):
   sample (an adversary who knows a few true salaries);
 * :class:`KNNEstimator` — k-nearest-neighbour regression on the same sample.
 
-All estimators consume a list of ``{input name: value-or-None}`` records so
-they are drop-in replacements for the fuzzy engines inside
+All estimators consume either a list of ``{input name: value-or-None}``
+records or a column mapping of ``(N,)`` float arrays (NaN for missing cells,
+the batch layout of :mod:`repro.fuzzy.batch`), so they are drop-in
+replacements for the fuzzy engines inside
 :class:`repro.fusion.attack.WebFusionAttack`.
 """
 
@@ -28,6 +30,7 @@ from typing import Mapping, Protocol, Sequence
 import numpy as np
 
 from repro.exceptions import AttackConfigurationError
+from repro.fuzzy.batch import BatchRecords, as_columns, batch_length
 
 __all__ = [
     "SensitiveEstimator",
@@ -39,25 +42,30 @@ __all__ = [
 ]
 
 
+#: Either per-record mappings or a column mapping of ``(N,)`` float arrays.
+FusionRecords = BatchRecords
+
+
 class SensitiveEstimator(Protocol):
     """Anything that can turn merged fusion inputs into sensitive-value estimates."""
 
-    def evaluate_batch(self, records: Sequence[Mapping[str, float | None]]) -> np.ndarray:
+    def evaluate_batch(self, records: "FusionRecords") -> np.ndarray:
         """Estimates for each record, in order."""
         ...  # pragma: no cover - protocol
 
 
 def records_to_matrix(
-    records: Sequence[Mapping[str, float | None]], feature_names: Sequence[str]
+    records: "FusionRecords", feature_names: Sequence[str]
 ) -> np.ndarray:
-    """Stack records into a ``(n, features)`` matrix with NaN for missing values."""
-    matrix = np.full((len(records), len(feature_names)), np.nan, dtype=float)
-    for i, record in enumerate(records):
-        for j, name in enumerate(feature_names):
-            value = record.get(name)
-            if value is not None and not (isinstance(value, float) and np.isnan(value)):
-                matrix[i, j] = float(value)
-    return matrix
+    """Stack records into a ``(n, features)`` matrix with NaN for missing values.
+
+    Accepts either per-record mappings or an already column-oriented mapping
+    of ``(n,)`` arrays (which just gets stacked in ``feature_names`` order).
+    """
+    n, columns = as_columns(records, feature_names)
+    if not feature_names:
+        return np.full((n, 0), np.nan, dtype=float)
+    return np.column_stack([columns[name] for name in feature_names])
 
 
 @dataclass
@@ -66,9 +74,9 @@ class MidpointEstimator:
 
     output_universe: tuple[float, float]
 
-    def evaluate_batch(self, records: Sequence[Mapping[str, float | None]]) -> np.ndarray:
+    def evaluate_batch(self, records: "FusionRecords") -> np.ndarray:
         midpoint = (self.output_universe[0] + self.output_universe[1]) / 2.0
-        return np.full(len(records), midpoint, dtype=float)
+        return np.full(batch_length(records), midpoint, dtype=float)
 
 
 @dataclass
@@ -86,11 +94,11 @@ class RankScalingEstimator:
     output_universe: tuple[float, float]
     directions: Mapping[str, int] = field(default_factory=dict)
 
-    def evaluate_batch(self, records: Sequence[Mapping[str, float | None]]) -> np.ndarray:
-        if not records:
-            return np.array([], dtype=float)
+    def evaluate_batch(self, records: "FusionRecords") -> np.ndarray:
         matrix = records_to_matrix(records, self.feature_names)
         n = matrix.shape[0]
+        if n == 0:
+            return np.array([], dtype=float)
         ranks = np.full_like(matrix, np.nan)
         for j, name in enumerate(self.feature_names):
             column = matrix[:, j]
@@ -130,13 +138,14 @@ class LinearRegressionEstimator:
 
     def fit(
         self,
-        records: Sequence[Mapping[str, float | None]],
+        records: "FusionRecords",
         targets: Sequence[float],
     ) -> "LinearRegressionEstimator":
         """Fit the model; returns ``self`` for chaining."""
-        if len(records) != len(targets):
+        n = batch_length(records)
+        if n != len(targets):
             raise AttackConfigurationError("records and targets must have equal length")
-        if len(records) < 2:
+        if n < 2:
             raise AttackConfigurationError("linear regression needs at least 2 labeled examples")
         matrix = records_to_matrix(records, self.feature_names)
         self._column_means = np.nanmean(
@@ -155,7 +164,7 @@ class LinearRegressionEstimator:
         filled[rows, cols] = self._column_means[cols]
         return filled
 
-    def evaluate_batch(self, records: Sequence[Mapping[str, float | None]]) -> np.ndarray:
+    def evaluate_batch(self, records: "FusionRecords") -> np.ndarray:
         if self._coefficients is None:
             raise AttackConfigurationError("call fit() before evaluate_batch()")
         matrix = self._impute(records_to_matrix(records, self.feature_names))
@@ -178,17 +187,18 @@ class KNNEstimator:
 
     def fit(
         self,
-        records: Sequence[Mapping[str, float | None]],
+        records: "FusionRecords",
         targets: Sequence[float],
     ) -> "KNNEstimator":
         """Fit (memorize and standardize) the training sample."""
         if self.neighbors < 1:
             raise AttackConfigurationError("neighbors must be >= 1")
-        if len(records) != len(targets):
+        n = batch_length(records)
+        if n != len(targets):
             raise AttackConfigurationError("records and targets must have equal length")
-        if len(records) < self.neighbors:
+        if n < self.neighbors:
             raise AttackConfigurationError(
-                f"need at least {self.neighbors} labeled examples, got {len(records)}"
+                f"need at least {self.neighbors} labeled examples, got {n}"
             )
         matrix = records_to_matrix(records, self.feature_names)
         self._column_means = np.nan_to_num(np.nanmean(matrix, axis=0), nan=0.0)
@@ -204,13 +214,21 @@ class KNNEstimator:
         filled[rows, cols] = self._column_means[cols]
         return (filled - self._column_means) / self._column_stds
 
-    def evaluate_batch(self, records: Sequence[Mapping[str, float | None]]) -> np.ndarray:
+    def evaluate_batch(self, records: "FusionRecords") -> np.ndarray:
         if self._train_matrix is None or self._train_targets is None:
             raise AttackConfigurationError("call fit() before evaluate_batch()")
         queries = self._standardize(records_to_matrix(records, self.feature_names))
-        estimates = np.empty(queries.shape[0], dtype=float)
-        for i, query in enumerate(queries):
-            distances = np.sqrt(((self._train_matrix - query) ** 2).sum(axis=1))
-            nearest = np.argsort(distances, kind="stable")[: self.neighbors]
-            estimates[i] = float(self._train_targets[nearest].mean())
+        if queries.shape[0] == 0:
+            return np.array([], dtype=float)
+        # One (queries, train) distance matrix instead of a per-query loop,
+        # via ||q - t||^2 = ||q||^2 + ||t||^2 - 2 q.t — no (Q, T, F) delta
+        # tensor, so memory stays O(Q*T) even for very large batches.
+        squared = (
+            (queries**2).sum(axis=1)[:, None]
+            + (self._train_matrix**2).sum(axis=1)[None, :]
+            - 2.0 * (queries @ self._train_matrix.T)
+        )
+        distances = np.sqrt(np.maximum(squared, 0.0))
+        nearest = np.argsort(distances, axis=1, kind="stable")[:, : self.neighbors]
+        estimates = self._train_targets[nearest].mean(axis=1)
         return np.clip(estimates, self.output_universe[0], self.output_universe[1])

@@ -1,9 +1,27 @@
 """Fuzzy inference substrate (the paper's information-fusion engine)."""
 
-from repro.fuzzy.defuzzify import STRATEGIES, bisector, centroid, defuzzify, mean_of_maxima
+from repro.fuzzy.batch import as_columns, batch_length, columns_to_records
+from repro.fuzzy.defuzzify import (
+    BATCH_STRATEGIES,
+    STRATEGIES,
+    bisector,
+    bisector_batch,
+    centroid,
+    centroid_batch,
+    defuzzify,
+    defuzzify_batch,
+    mean_of_maxima,
+    mean_of_maxima_batch,
+)
 from repro.fuzzy.inference import InferenceTrace, MamdaniSystem
 from repro.fuzzy.membership import GaussianMF, MembershipFunction, TrapezoidalMF, TriangularMF
-from repro.fuzzy.rules import Condition, FuzzyRule, parse_rule, parse_rules
+from repro.fuzzy.rules import (
+    Condition,
+    FuzzyRule,
+    firing_strength_matrix,
+    parse_rule,
+    parse_rules,
+)
 from repro.fuzzy.tsk import SugenoSystem, term_centroids
 from repro.fuzzy.variables import FuzzySet, LinguisticVariable
 
@@ -16,6 +34,7 @@ __all__ = [
     "LinguisticVariable",
     "Condition",
     "FuzzyRule",
+    "firing_strength_matrix",
     "parse_rule",
     "parse_rules",
     "MamdaniSystem",
@@ -27,4 +46,12 @@ __all__ = [
     "bisector",
     "mean_of_maxima",
     "STRATEGIES",
+    "defuzzify_batch",
+    "centroid_batch",
+    "bisector_batch",
+    "mean_of_maxima_batch",
+    "BATCH_STRATEGIES",
+    "as_columns",
+    "batch_length",
+    "columns_to_records",
 ]

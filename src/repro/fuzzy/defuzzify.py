@@ -17,7 +17,18 @@ import numpy as np
 
 from repro.exceptions import FuzzyEvaluationError
 
-__all__ = ["centroid", "bisector", "mean_of_maxima", "defuzzify", "STRATEGIES"]
+__all__ = [
+    "centroid",
+    "bisector",
+    "mean_of_maxima",
+    "defuzzify",
+    "STRATEGIES",
+    "centroid_batch",
+    "bisector_batch",
+    "mean_of_maxima_batch",
+    "defuzzify_batch",
+    "BATCH_STRATEGIES",
+]
 
 
 def centroid(universe: np.ndarray, membership: np.ndarray) -> float:
@@ -68,6 +79,70 @@ def defuzzify(universe: np.ndarray, membership: np.ndarray, strategy: str = "cen
     return STRATEGIES[strategy](universe, membership)
 
 
+# Batch strategies -----------------------------------------------------------------
+#
+# Each batch function takes the shared ``(R,)`` output universe and an
+# ``(N, R)`` block of aggregated membership curves (one row per record) and
+# returns the ``(N,)`` crisp outputs.  Row ``i`` mirrors the scalar strategy
+# applied to ``membership[i]``; the row-wise reductions may reassociate
+# floating-point sums, so batch and scalar agree to tight tolerance (1e-9,
+# enforced by tests/test_batch_equivalence.py) rather than bitwise.
+
+
+def centroid_batch(universe: np.ndarray, membership: np.ndarray) -> np.ndarray:
+    """Row-wise centre of gravity of an ``(N, R)`` block of membership curves."""
+    _validate_batch(universe, membership)
+    totals = np.trapezoid(membership, universe, axis=1)
+    if np.any(totals <= 0.0):
+        raise FuzzyEvaluationError("cannot defuzzify an all-zero membership curve")
+    return np.trapezoid(membership * universe, universe, axis=1) / totals
+
+
+def bisector_batch(universe: np.ndarray, membership: np.ndarray) -> np.ndarray:
+    """Row-wise bisector of an ``(N, R)`` block of membership curves."""
+    _validate_batch(universe, membership)
+    segments = (membership[:, 1:] + membership[:, :-1]) / 2.0 * np.diff(universe)
+    cumulative = np.concatenate(
+        [np.zeros((membership.shape[0], 1)), np.cumsum(segments, axis=1)], axis=1
+    )
+    totals = cumulative[:, -1]
+    if np.any(totals <= 0.0):
+        raise FuzzyEvaluationError("cannot defuzzify an all-zero membership curve")
+    # Count of entries strictly below the half-area target == searchsorted
+    # (side='left'), the scalar formulation, vectorized over rows.
+    indices = (cumulative < (totals / 2.0)[:, None]).sum(axis=1)
+    indices = np.clip(indices, 0, len(universe) - 1)
+    return universe[indices].astype(float)
+
+
+def mean_of_maxima_batch(universe: np.ndarray, membership: np.ndarray) -> np.ndarray:
+    """Row-wise mean of maxima of an ``(N, R)`` block of membership curves."""
+    _validate_batch(universe, membership)
+    peaks = membership.max(axis=1)
+    if np.any(peaks <= 0.0):
+        raise FuzzyEvaluationError("cannot defuzzify an all-zero membership curve")
+    masks = np.isclose(membership, peaks[:, None])
+    return (universe * masks).sum(axis=1) / masks.sum(axis=1)
+
+
+BATCH_STRATEGIES = {
+    "centroid": centroid_batch,
+    "bisector": bisector_batch,
+    "mom": mean_of_maxima_batch,
+}
+
+
+def defuzzify_batch(
+    universe: np.ndarray, membership: np.ndarray, strategy: str = "centroid"
+) -> np.ndarray:
+    """Batch counterpart of :func:`defuzzify` over an ``(N, R)`` curve block."""
+    if strategy not in BATCH_STRATEGIES:
+        raise FuzzyEvaluationError(
+            f"unknown defuzzification strategy {strategy!r}; options: {sorted(BATCH_STRATEGIES)}"
+        )
+    return BATCH_STRATEGIES[strategy](universe, membership)
+
+
 def _validate(universe: np.ndarray, membership: np.ndarray) -> None:
     if universe.shape != membership.shape:
         raise FuzzyEvaluationError(
@@ -75,3 +150,13 @@ def _validate(universe: np.ndarray, membership: np.ndarray) -> None:
         )
     if universe.ndim != 1 or universe.size < 3:
         raise FuzzyEvaluationError("defuzzification needs a 1-D universe with >= 3 samples")
+
+
+def _validate_batch(universe: np.ndarray, membership: np.ndarray) -> None:
+    if universe.ndim != 1 or universe.size < 3:
+        raise FuzzyEvaluationError("defuzzification needs a 1-D universe with >= 3 samples")
+    if membership.ndim != 2 or membership.shape[1] != universe.size:
+        raise FuzzyEvaluationError(
+            f"batch membership must have shape (N, {universe.size}), "
+            f"got {membership.shape}"
+        )

@@ -16,6 +16,19 @@ Missing inputs (``None`` / NaN — e.g. a suppressed release cell or a person
 with no web presence) are handled by treating every term of that variable as
 fully possible (membership 1), i.e. the input contributes no information,
 which is the conservative choice for an adversary.
+
+The pipeline is implemented as a **batch kernel**: :meth:`evaluate_batch`
+fuzzifies whole ``(N,)`` input columns at once, forms the ``(N, n_rules)``
+firing-strength matrix, aggregates implied curves into an ``(N, resolution)``
+block (grouping rules by consequent term, since ``max_j min(curve, s_j) ==
+min(curve, max_j s_j)`` exactly), and defuzzifies all rows together.  The
+scalar :meth:`evaluate` / :meth:`trace` API is a thin wrapper running the same
+kernel on a single-record batch, so explanations stay available and scalar
+and batch outputs agree to within 1e-9 (the property suite in
+``tests/test_batch_equivalence.py`` enforces this, including against a
+reference implementation of the original per-record loop).  Records whose
+aggregated curve is identically
+zero (no rule fired) fall back to the midpoint of the output universe.
 """
 
 from __future__ import annotations
@@ -27,8 +40,9 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.exceptions import FuzzyDefinitionError, FuzzyEvaluationError
-from repro.fuzzy.defuzzify import defuzzify
-from repro.fuzzy.rules import FuzzyRule
+from repro.fuzzy.batch import BatchRecords, as_columns
+from repro.fuzzy.defuzzify import defuzzify_batch
+from repro.fuzzy.rules import FuzzyRule, firing_strength_matrix
 from repro.fuzzy.variables import LinguisticVariable
 
 __all__ = ["MamdaniSystem", "InferenceTrace"]
@@ -106,54 +120,92 @@ class MamdaniSystem:
                 fuzzified[name] = variable.fuzzify(float(value))
         return fuzzified
 
+    def fuzzify_batch(
+        self, columns: Mapping[str, np.ndarray]
+    ) -> dict[str, dict[str, np.ndarray]]:
+        """Fuzzify whole input columns; NaN cells map every term to 1."""
+        return {
+            name: variable.fuzzify_batch(columns[name])
+            for name, variable in self.inputs.items()
+        }
+
     def evaluate(self, inputs: Mapping[str, float | None]) -> float:
         """Crisp output for the given crisp inputs."""
         return self.trace(inputs).output
 
     def trace(self, inputs: Mapping[str, float | None]) -> InferenceTrace:
-        """Evaluate and return every intermediate quantity."""
-        if not self.rules:
-            raise FuzzyEvaluationError("the rule base is empty; add rules before evaluating")
-        unknown = set(inputs) - set(self.inputs)
-        if unknown:
-            raise FuzzyEvaluationError(
-                f"inputs reference unknown variables: {sorted(unknown)}"
-            )
-
-        fuzzified = self.fuzzify(inputs)
-        universe = self.output.grid(self.resolution)
-        aggregated = np.zeros_like(universe)
-        strengths: list[float] = []
-
-        for rule in self.rules:
-            strength = rule.firing_strength(fuzzified)
-            strengths.append(strength)
-            if strength <= 0.0:
-                continue
-            term_curve = np.asarray(
-                self.output.term(rule.consequent_term).membership(universe), dtype=float
-            )
-            implied = np.minimum(term_curve, strength)
-            aggregated = np.maximum(aggregated, implied)
-
-        if float(aggregated.max(initial=0.0)) <= 0.0:
-            # No rule fired: fall back to the midpoint of the output universe,
-            # the least-informative estimate (an adversary can always guess the
-            # middle of the declared range).
-            output_value = float((self.output.universe[0] + self.output.universe[1]) / 2.0)
-        else:
-            output_value = defuzzify(universe, aggregated, self.defuzzification)
-
+        """Evaluate one record through the batch kernel and return every
+        intermediate quantity (for explanations and tests)."""
+        fuzzified_batch, strengths, aggregated, outputs = self._batch_kernel([inputs])
         return InferenceTrace(
-            fuzzified=fuzzified,
-            firing_strengths=strengths,
-            aggregated=aggregated,
-            output=output_value,
+            fuzzified={
+                name: {term: float(degrees[0]) for term, degrees in terms.items()}
+                for name, terms in fuzzified_batch.items()
+            },
+            firing_strengths=[float(s) for s in strengths[0]],
+            aggregated=aggregated[0],
+            output=float(outputs[0]),
         )
 
-    def evaluate_batch(self, records: Sequence[Mapping[str, float | None]]) -> np.ndarray:
-        """Crisp outputs for a sequence of input records."""
-        return np.array([self.evaluate(record) for record in records], dtype=float)
+    def evaluate_batch(self, records: BatchRecords) -> np.ndarray:
+        """Crisp outputs for a whole batch of records at once.
+
+        ``records`` is either a sequence of per-record mappings (``None`` /
+        NaN marking missing cells) or a column mapping of ``(N,)`` float
+        arrays (NaN marking missing cells) — the layout produced by
+        :meth:`repro.fusion.attack.WebFusionAttack.assemble_columns`.
+        """
+        return self._batch_kernel(records)[3]
+
+    # Batch kernel ---------------------------------------------------------------
+
+    def _batch_kernel(
+        self, records: BatchRecords
+    ) -> tuple[dict[str, dict[str, np.ndarray]], np.ndarray, np.ndarray, np.ndarray]:
+        """Run the full Mamdani pipeline over a batch.
+
+        Returns ``(fuzzified, strengths, aggregated, outputs)`` where
+        ``fuzzified`` maps variable -> term -> ``(N,)`` degrees, ``strengths``
+        is the ``(N, n_rules)`` firing matrix, ``aggregated`` the
+        ``(N, resolution)`` aggregated output curves and ``outputs`` the
+        ``(N,)`` crisp estimates.
+        """
+        if not self.rules:
+            raise FuzzyEvaluationError("the rule base is empty; add rules before evaluating")
+        n, columns = as_columns(records, list(self.inputs), strict=True)
+        fuzzified = self.fuzzify_batch(columns)
+        strengths = firing_strength_matrix(self.rules, fuzzified)
+
+        universe = self.output.grid(self.resolution)
+        aggregated = np.zeros((n, universe.size))
+        # Group rules by consequent term: max over same-term rules commutes
+        # with the min-clip (both are exact), so each term's curve is clipped
+        # once at the per-record maximum strength instead of once per rule.
+        term_rule_indices: dict[str, list[int]] = {}
+        for j, rule in enumerate(self.rules):
+            term_rule_indices.setdefault(rule.consequent_term, []).append(j)
+        for term, indices in term_rule_indices.items():
+            term_strengths = strengths[:, indices].max(axis=1)
+            term_curve = np.asarray(
+                self.output.term(term).membership(universe), dtype=float
+            )
+            np.maximum(
+                aggregated,
+                np.minimum(term_curve, term_strengths[:, None]),
+                out=aggregated,
+            )
+
+        midpoint = (self.output.universe[0] + self.output.universe[1]) / 2.0
+        outputs = np.full(n, midpoint, dtype=float)
+        # No rule fired for a record: keep the midpoint of the output
+        # universe, the least-informative estimate (an adversary can always
+        # guess the middle of the declared range).
+        fired = aggregated.max(axis=1, initial=0.0) > 0.0
+        if np.any(fired):
+            outputs[fired] = defuzzify_batch(
+                universe, aggregated[fired], self.defuzzification
+            )
+        return fuzzified, strengths, aggregated, outputs
 
     def describe(self) -> str:
         """Human-readable summary of the system (variables, terms, rules)."""

@@ -46,6 +46,16 @@ class MembershipFunction(abc.ABC):
         """Scalar membership degree of a single crisp value."""
         return float(np.clip(self(np.asarray(value, dtype=float)), 0.0, 1.0))
 
+    def degrees(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized membership degrees of an ``(N,)`` array of crisp values.
+
+        Applies exactly the same clamp to ``[0, 1]`` as :meth:`degree`, so the
+        batch fusion kernels match the scalar path element for element.
+        """
+        return np.clip(
+            np.asarray(self(np.asarray(values, dtype=float)), dtype=float), 0.0, 1.0
+        )
+
 
 @dataclass(frozen=True)
 class TriangularMF(MembershipFunction):

@@ -17,10 +17,18 @@ import re
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
+import numpy as np
+
 from repro.exceptions import FuzzyDefinitionError, FuzzyEvaluationError
 from repro.fuzzy.variables import LinguisticVariable
 
-__all__ = ["Condition", "FuzzyRule", "parse_rule", "parse_rules"]
+__all__ = [
+    "Condition",
+    "FuzzyRule",
+    "firing_strength_matrix",
+    "parse_rule",
+    "parse_rules",
+]
 
 
 @dataclass(frozen=True)
@@ -42,6 +50,24 @@ class Condition:
             )
         degree = memberships[self.term]
         return 1.0 - degree if self.negated else degree
+
+    def evaluate_batch(
+        self, fuzzified: Mapping[str, Mapping[str, np.ndarray]]
+    ) -> np.ndarray:
+        """Truth degrees for a whole batch: ``(N,)`` array of per-record degrees.
+
+        ``fuzzified`` maps variable name to per-term ``(N,)`` degree arrays
+        (the output of :meth:`LinguisticVariable.fuzzify_batch`).
+        """
+        if self.variable not in fuzzified:
+            raise FuzzyEvaluationError(f"no input provided for variable {self.variable!r}")
+        memberships = fuzzified[self.variable]
+        if self.term not in memberships:
+            raise FuzzyEvaluationError(
+                f"variable {self.variable!r} has no term {self.term!r}"
+            )
+        degrees = np.asarray(memberships[self.term], dtype=float)
+        return 1.0 - degrees if self.negated else degrees
 
     def __str__(self) -> str:
         verb = "IS NOT" if self.negated else "IS"
@@ -84,6 +110,19 @@ class FuzzyRule:
         combined = min(degrees) if self.operator == "and" else max(degrees)
         return self.weight * combined
 
+    def firing_strength_batch(
+        self, fuzzified: Mapping[str, Mapping[str, np.ndarray]]
+    ) -> np.ndarray:
+        """Per-record firing strengths as an ``(N,)`` array.
+
+        Elementwise ``min`` / ``max`` over the condition degree arrays is
+        numerically identical to the scalar :meth:`firing_strength` applied to
+        each record, so the batch and scalar engines agree exactly.
+        """
+        degrees = [condition.evaluate_batch(fuzzified) for condition in self.conditions]
+        reduce = np.minimum if self.operator == "and" else np.maximum
+        return self.weight * reduce.reduce(degrees)
+
     def variables(self) -> set[str]:
         """Names of the input variables referenced by the rule."""
         return {condition.variable for condition in self.conditions}
@@ -104,6 +143,21 @@ class FuzzyRule:
         joiner = f" {self.operator.upper()} "
         antecedent = joiner.join(str(c) for c in self.conditions)
         return f"IF {antecedent} THEN {self.consequent_term}"
+
+
+def firing_strength_matrix(
+    rules: Sequence[FuzzyRule],
+    fuzzified: Mapping[str, Mapping[str, np.ndarray]],
+) -> np.ndarray:
+    """Firing strengths of every rule over a batch: an ``(N, n_rules)`` matrix.
+
+    Column ``j`` holds rule ``j``'s per-record strengths; this is the central
+    data layout of the vectorized fusion engines (one elementwise min/max chain
+    per rule instead of a Python loop per record).
+    """
+    if not rules:
+        raise FuzzyEvaluationError("cannot build a firing matrix from an empty rule base")
+    return np.column_stack([rule.firing_strength_batch(fuzzified) for rule in rules])
 
 
 _RULE_RE = re.compile(

@@ -10,6 +10,12 @@ the firing-strength-weighted average of the consequent values::
 Consequent values can be given explicitly, or derived from an output
 :class:`~repro.fuzzy.variables.LinguisticVariable` by taking each term's
 centroid — this makes it a drop-in replacement for a Mamdani rule base.
+
+Like the Mamdani engine, evaluation is implemented as a batch kernel: the
+``(N, n_rules)`` firing matrix is built from whole input columns and the
+weighted average is one matrix-vector product; the scalar :meth:`evaluate`
+wraps the kernel on a single-record batch.  Records for which no rule fires
+fall back to the midpoint of the output universe.
 """
 
 from __future__ import annotations
@@ -20,7 +26,8 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.exceptions import FuzzyDefinitionError, FuzzyEvaluationError
-from repro.fuzzy.rules import FuzzyRule
+from repro.fuzzy.batch import BatchRecords, as_columns
+from repro.fuzzy.rules import FuzzyRule, firing_strength_matrix
 from repro.fuzzy.variables import LinguisticVariable
 
 __all__ = ["SugenoSystem", "term_centroids"]
@@ -101,21 +108,40 @@ class SugenoSystem:
                 fuzzified[name] = variable.fuzzify(float(value))
         return fuzzified
 
+    def fuzzify_batch(
+        self, columns: Mapping[str, np.ndarray]
+    ) -> dict[str, dict[str, np.ndarray]]:
+        """Fuzzify whole input columns; NaN cells map every term to 1."""
+        return {
+            name: variable.fuzzify_batch(columns[name])
+            for name, variable in self.inputs.items()
+        }
+
     def evaluate(self, inputs: Mapping[str, float | None]) -> float:
         """Weighted-average crisp output for the given inputs."""
+        return float(self.evaluate_batch([inputs])[0])
+
+    def evaluate_batch(self, records: BatchRecords) -> np.ndarray:
+        """Crisp outputs for a whole batch of records at once.
+
+        Accepts either a sequence of per-record mappings or a column mapping
+        of ``(N,)`` float arrays with NaN marking missing cells.  The
+        ``(N, n_rules)`` firing matrix is contracted against the consequent
+        value vector; zero-denominator records (no rule fired) fall back to
+        the output-universe midpoint.
+        """
         if not self.rules:
             raise FuzzyEvaluationError("the rule base is empty; add rules before evaluating")
-        fuzzified = self.fuzzify(inputs)
-        numerator = 0.0
-        denominator = 0.0
-        for rule in self.rules:
-            strength = rule.firing_strength(fuzzified)
-            numerator += strength * self.consequents[rule.consequent_term]
-            denominator += strength
-        if denominator <= 0.0:
-            return float((self.output.universe[0] + self.output.universe[1]) / 2.0)
-        return numerator / denominator
-
-    def evaluate_batch(self, records: Sequence[Mapping[str, float | None]]) -> np.ndarray:
-        """Crisp outputs for a sequence of input records."""
-        return np.array([self.evaluate(record) for record in records], dtype=float)
+        n, columns = as_columns(records, list(self.inputs), strict=False)
+        fuzzified = self.fuzzify_batch(columns)
+        strengths = firing_strength_matrix(self.rules, fuzzified)
+        values = np.array(
+            [self.consequents[rule.consequent_term] for rule in self.rules], dtype=float
+        )
+        numerators = strengths @ values
+        denominators = strengths.sum(axis=1)
+        midpoint = (self.output.universe[0] + self.output.universe[1]) / 2.0
+        fired = denominators > 0.0
+        outputs = np.full(n, midpoint, dtype=float)
+        np.divide(numerators, denominators, out=outputs, where=fired)
+        return outputs

@@ -37,6 +37,10 @@ class FuzzySet:
         """Membership degree of a crisp value in this set."""
         return self.membership.degree(value)
 
+    def degrees(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized membership degrees of an ``(N,)`` array of crisp values."""
+        return self.membership.degrees(values)
+
 
 @dataclass
 class LinguisticVariable:
@@ -82,6 +86,27 @@ class LinguisticVariable:
         if not self.terms:
             raise FuzzyDefinitionError(f"variable {self.name!r} has no terms defined")
         return {name: fuzzy_set.degree(value) for name, fuzzy_set in self.terms.items()}
+
+    def fuzzify_batch(self, values: np.ndarray) -> dict[str, np.ndarray]:
+        """Membership degrees of an ``(N,)`` value array in every term.
+
+        ``NaN`` entries mark missing inputs and fuzzify to full membership
+        (degree 1) in every term — the input contributes no information —
+        matching the scalar engines' ``None`` handling.
+        """
+        if not self.terms:
+            raise FuzzyDefinitionError(f"variable {self.name!r} has no terms defined")
+        values = np.asarray(values, dtype=float)
+        missing = np.isnan(values)
+        # Evaluate the membership functions at a harmless stand-in so NaN does
+        # not propagate, then overwrite the masked rows.
+        safe = np.where(missing, self.universe[0], values)
+        fuzzified: dict[str, np.ndarray] = {}
+        for name, fuzzy_set in self.terms.items():
+            degrees = fuzzy_set.degrees(safe)
+            degrees[missing] = 1.0
+            fuzzified[name] = degrees
+        return fuzzified
 
     def grid(self, resolution: int = 201) -> np.ndarray:
         """A uniform sampling of the universe, used by Mamdani defuzzification."""

@@ -178,6 +178,36 @@ class TestAttackOnCustomers:
         result = WebFusionAttack(customer_corpus, config).run(release)
         assert np.allclose(result.estimates, 70_000.0)
 
+    def test_custom_estimator_keeps_per_record_contract(
+        self, customer_corpus, customer_config
+    ):
+        # User-supplied estimators were written against a sequence of
+        # per-record dicts; the batch rewrite must keep handing them that.
+        seen: list = []
+
+        class RecordingEstimator:
+            def evaluate_batch(self, records):
+                seen.append(records)
+                return np.array(
+                    [50_000.0 + (record.get("age") or 0.0) for record in records]
+                )
+
+        config = AttackConfig(
+            release_inputs=customer_config.release_inputs,
+            auxiliary_inputs=customer_config.auxiliary_inputs,
+            output_name="income",
+            output_universe=(40_000.0, 100_000.0),
+            engine="custom",
+            estimator=RecordingEstimator(),
+        )
+        private = enterprise_customers_example()
+        release = MDAVAnonymizer().anonymize(private, 2).release
+        result = WebFusionAttack(customer_corpus, config).run(release)
+        assert len(seen) == 1
+        assert isinstance(seen[0], list)
+        assert all(isinstance(record, dict) for record in seen[0])
+        assert result.estimates.shape == (release.num_rows,)
+
     def test_sugeno_engine(self, customer_corpus, customer_config):
         config = AttackConfig(
             release_inputs=customer_config.release_inputs,

@@ -153,3 +153,15 @@ class TestFredCommand:
         release = read_csv(output)
         assert "salary" not in release.schema
         assert is_k_anonymous(release, 2)
+
+    def test_parallel_sweep_matches_serial(self, csv_paths, capsys):
+        private_path, aux_path = csv_paths
+        base = [
+            "fred", "--input", str(private_path), "--auxiliary", str(aux_path),
+            "--kmin", "2", "--kmax", "5",
+        ]
+        assert main(base) == 0
+        serial_out = capsys.readouterr().out
+        assert main(base + ["--parallelism", "4"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert parallel_out == serial_out

@@ -1,0 +1,166 @@
+"""Golden regression tests pinning the paper pipeline numerically.
+
+The batch-fusion rewrite (vectorized membership evaluation, the
+``(N, n_rules)`` firing matrix, blockwise defuzzification, the parallel
+sweep) must change *nothing* about what FRED computes.  These tests snapshot
+the full sweep on the seeded faculty-salary scenario — chosen ``k*``,
+per-level ``H_k`` scores, protection before/after fusion and utility — as
+hard-coded constants, so any numerical drift in a future rewrite fails loudly
+instead of silently shifting the reproduced figures.
+
+The parallel-sweep tests assert the deterministic merge: thread- and
+process-pool sweeps return outcomes bit-identical to the serial loop, and the
+utility stopping rule truncates the merged sequence at the same level.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fred import FREDAnonymizer, FREDConfig, FREDResult
+from repro.exceptions import FREDConfigurationError, InfeasibleAnonymizationError
+from repro.experiments.figures import default_setup, derive_thresholds, run_sweep
+
+# Snapshot of the seeded scenario: default_setup(count=40, seed=5,
+# levels=(2, 3, 4, 6, 8)) with the default minmax 0.5/0.5 objective.
+GOLDEN_LEVELS = (2, 3, 4, 6, 8)
+GOLDEN_OPTIMAL_LEVEL = 2
+GOLDEN_THRESHOLDS = (356817004.44188833, 0.0035714285714285713)
+GOLDEN = {
+    # level: (protection_before, protection_after, utility, H_k, feasible)
+    2: (504918862.975125, 357277253.7138318, 0.0125, 0.5111817740491673, True),
+    3: (504918872.6788125, 356817004.44188833, 0.008064516129032258, 0.2634408602150537, True),
+    4: (504918884.4165, 361592687.6049703, 0.00625, 0.2826920757553232, True),
+    6: (504918886.899125, 357109522.9911202, 0.0035714285714285713, 0.030916273395220215, True),
+    8: (504918901.49825, 377397337.6662805, 0.003125, 0.5, False),
+}
+REL = 1e-9
+
+
+def _make_fred(parallelism: int = 1, executor: str = "thread", **overrides):
+    setup = default_setup(count=40, seed=5, levels=GOLDEN_LEVELS)
+    config = dict(
+        levels=setup.levels,
+        protection_threshold=GOLDEN_THRESHOLDS[0],
+        utility_threshold=GOLDEN_THRESHOLDS[1],
+        objective=setup.objective,
+        stop_below_utility=False,
+        parallelism=parallelism,
+        executor=executor,
+    )
+    config.update(overrides)
+    return setup, FREDAnonymizer(
+        source=setup.corpus,
+        attack_config=setup.attack_config,
+        config=FREDConfig(**config),
+    )
+
+
+@pytest.fixture(scope="module")
+def golden_result() -> FREDResult:
+    setup, fred = _make_fred()
+    return fred.run(setup.population.private)
+
+
+class TestGoldenSweep:
+    def test_chosen_optimal_level(self, golden_result):
+        assert golden_result.optimal_level == GOLDEN_OPTIMAL_LEVEL
+
+    def test_levels_swept_in_order(self, golden_result):
+        assert tuple(o.level for o in golden_result.outcomes) == GOLDEN_LEVELS
+
+    @pytest.mark.parametrize("level", GOLDEN_LEVELS)
+    def test_per_level_measurements(self, golden_result, level):
+        before, after, utility, score, feasible = GOLDEN[level]
+        outcome = next(o for o in golden_result.outcomes if o.level == level)
+        assert outcome.protection_before == pytest.approx(before, rel=REL)
+        assert outcome.protection_after == pytest.approx(after, rel=REL)
+        assert outcome.information_gain == pytest.approx(before - after, rel=REL)
+        assert outcome.utility == pytest.approx(utility, rel=REL)
+        assert golden_result.scores[level] == pytest.approx(score, rel=REL)
+        assert outcome.feasible is feasible
+
+    def test_derived_thresholds_are_stable(self):
+        sweep = run_sweep(default_setup(count=40, seed=5, levels=GOLDEN_LEVELS))
+        tp, tu = derive_thresholds(sweep)
+        assert tp == pytest.approx(GOLDEN_THRESHOLDS[0], rel=REL)
+        assert tu == pytest.approx(GOLDEN_THRESHOLDS[1], rel=REL)
+
+
+class TestParallelSweepDeterminism:
+    """The parallel dispatch must merge to exactly the serial outcomes."""
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_parallel_matches_serial_bitwise(self, golden_result, executor):
+        setup, fred = _make_fred(parallelism=4, executor=executor)
+        parallel = fred.run(setup.population.private)
+        assert parallel.optimal_level == golden_result.optimal_level
+        assert parallel.scores == golden_result.scores
+        for serial_outcome, parallel_outcome in zip(
+            golden_result.outcomes, parallel.outcomes, strict=True
+        ):
+            assert parallel_outcome.level == serial_outcome.level
+            assert parallel_outcome.protection_before == serial_outcome.protection_before
+            assert parallel_outcome.protection_after == serial_outcome.protection_after
+            assert parallel_outcome.information_gain == serial_outcome.information_gain
+            assert parallel_outcome.utility == serial_outcome.utility
+            assert parallel_outcome.feasible is serial_outcome.feasible
+
+    def test_parallel_honours_utility_stopping_rule(self):
+        # Tu above level 6's utility: the serial do/until loop stops at k=6;
+        # the parallel merge must truncate to the same prefix.
+        tu = (GOLDEN[4][2] + GOLDEN[6][2]) / 2.0
+        setup, serial_fred = _make_fred(
+            utility_threshold=tu, stop_below_utility=True
+        )
+        serial = serial_fred.sweep(setup.population.private)
+        setup, parallel_fred = _make_fred(
+            parallelism=3, utility_threshold=tu, stop_below_utility=True
+        )
+        parallel = parallel_fred.sweep(setup.population.private)
+        assert [o.level for o in serial] == [2, 3, 4, 6]
+        assert [o.level for o in parallel] == [o.level for o in serial]
+        assert [o.utility for o in parallel] == [o.utility for o in serial]
+
+    def test_speculative_failure_past_stop_is_discarded(self):
+        # Tu above every utility stops the serial loop at k=2, before the
+        # infeasible k=50 (> 40 records) is ever attempted.  The parallel
+        # sweep evaluates k=50 speculatively and must swallow its failure,
+        # returning the same single-outcome prefix instead of raising.
+        tu = GOLDEN[2][2] * 2.0
+        setup, serial_fred = _make_fred(
+            levels=GOLDEN_LEVELS + (50,), utility_threshold=tu, stop_below_utility=True
+        )
+        serial = serial_fred.sweep(setup.population.private)
+        setup, parallel_fred = _make_fred(
+            parallelism=4,
+            levels=GOLDEN_LEVELS + (50,),
+            utility_threshold=tu,
+            stop_below_utility=True,
+        )
+        parallel = parallel_fred.sweep(setup.population.private)
+        assert [o.level for o in serial] == [2]
+        assert [o.level for o in parallel] == [2]
+        assert parallel[0].utility == serial[0].utility
+
+    def test_failure_before_stop_still_raises_in_parallel(self):
+        setup, parallel_fred = _make_fred(parallelism=2, levels=(2, 50))
+        with pytest.raises(InfeasibleAnonymizationError):
+            parallel_fred.sweep(setup.population.private)
+
+    def test_run_sweep_parallelism_reproduces_series(self):
+        setup = default_setup(count=40, seed=5, levels=GOLDEN_LEVELS)
+        serial = run_sweep(setup)
+        parallel = run_sweep(setup, parallelism=4)
+        assert parallel.as_dict() == serial.as_dict()
+        assert parallel.levels == serial.levels
+
+
+class TestParallelismConfigValidation:
+    def test_rejects_nonpositive_parallelism(self):
+        with pytest.raises(FREDConfigurationError):
+            FREDConfig(parallelism=0)
+
+    def test_rejects_unknown_executor(self):
+        with pytest.raises(FREDConfigurationError):
+            FREDConfig(executor="fork-bomb")
