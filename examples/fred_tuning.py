@@ -16,10 +16,7 @@ Run with::
 from __future__ import annotations
 
 from repro import FREDAnonymizer, FREDConfig, WeightedObjective
-from repro.data import corpus_for_faculty, generate_faculty
-from repro.data.faculty import FacultyConfig
 from repro.experiments import default_setup, derive_thresholds, run_sweep
-from repro.fusion import AttackConfig
 
 
 def main() -> None:

@@ -23,9 +23,8 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.dataset.generalization import cover_values
-from repro.dataset.schema import Schema
-from repro.dataset.table import Table
+from repro.dataset.generalization import Interval, cover_values
+from repro.dataset.table import Table, _py_value
 from repro.exceptions import AnonymizationError, InfeasibleAnonymizationError
 
 __all__ = [
@@ -144,6 +143,12 @@ def build_release(
 ) -> Table:
     """Build the enterprise release ``P'`` from a partition of ``table``.
 
+    Quasi-identifier columns are generalized in bulk: one generalized cell is
+    computed per (class, column) pair — a class-covering interval from
+    vectorized per-class min/max for numeric columns, the class mean for
+    centroid releases — and fanned out to the class rows with fancy-index
+    assignments, instead of visiting every cell through per-row Python loops.
+
     Parameters
     ----------
     table:
@@ -174,21 +179,55 @@ def build_release(
     release = table if keep_sensitive else table.drop_columns(list(schema.sensitive_attributes))
     qi_names = release.schema.quasi_identifiers
 
-    new_columns = {name: release.column(name) for name in release.schema.names}
-    for equivalence_class in classes:
-        indices = list(equivalence_class.indices)
-        for name in qi_names:
-            attribute = release.schema[name]
-            values = [table.cell(i, name) for i in indices]
-            if attribute.is_numeric and style == "centroid":
-                numeric = np.array([float(v) for v in values], dtype=float)
-                generalized: object = float(np.mean(numeric))
-            else:
-                generalized = cover_values(values)
-            for i in indices:
-                new_columns[name][i] = generalized
+    class_indices = [
+        np.asarray(equivalence_class.indices, dtype=np.intp)
+        for equivalence_class in classes
+    ]
+    covered = np.zeros(table.num_rows, dtype=bool)
+    for indices in class_indices:
+        covered[indices] = True
+    covers_all_rows = bool(covered.all())
 
-    return Table(release.schema, new_columns)
+    for name in qi_names:
+        attribute = release.schema[name]
+        source = table.column_array(name)
+        numeric_storage = source.dtype.kind in "if"
+
+        generalized_column = np.empty(table.num_rows, dtype=object)
+        if not covers_all_rows:
+            # Partial partitions (validate=False) keep their uncovered cells.
+            generalized_column[:] = table.column(name)
+
+        if numeric_storage and style == "interval":
+            for indices in class_indices:
+                values = source[indices]
+                low, high = values.min(), values.max()
+                if low == high:
+                    generalized: object = _py_value(source[indices[0]])
+                else:
+                    generalized = Interval(float(low), float(high))
+                generalized_column[indices] = generalized
+        elif attribute.is_numeric and style == "centroid":
+            if numeric_storage:
+                for indices in class_indices:
+                    generalized_column[indices] = float(np.mean(source[indices]))
+            else:
+                values_list = table.column(name)
+                for indices in class_indices:
+                    numeric = np.array(
+                        [float(values_list[i]) for i in indices], dtype=float
+                    )
+                    generalized_column[indices] = float(np.mean(numeric))
+        else:
+            values_list = table.column(name)
+            for indices in class_indices:
+                generalized_column[indices] = cover_values(
+                    [values_list[i] for i in indices]
+                )
+
+        release = release.replace_column(name, generalized_column)
+
+    return release
 
 
 class BaseAnonymizer(abc.ABC):

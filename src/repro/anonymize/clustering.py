@@ -8,6 +8,11 @@ unassigned records into a cluster, and attach any final leftovers to their
 nearest cluster.  It differs from MDAV by growing one cluster at a time from a
 single seed instead of two per iteration, which yields a slightly different
 utility/protection trade-off and serves as an additional ablation baseline.
+
+Like MDAV, the gathering loop works over a compacted point matrix plus a
+global-row-index array: cluster members are selected with a partition-based
+k-smallest pick on one distance buffer and retired with a boolean-mask
+compaction, instead of rebuilding Python index lists per cluster.
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.anonymize.base import BaseAnonymizer, EquivalenceClass
+from repro.anonymize.mdav import _k_smallest, _sq_distances
 from repro.dataset.statistics import standardize_matrix
 from repro.dataset.table import Table
 from repro.exceptions import AnonymizationError
@@ -36,29 +42,30 @@ class GreedyClusterAnonymizer(BaseAnonymizer):
         points, _, _ = standardize_matrix(matrix)
         centroid = points.mean(axis=0)
 
-        remaining = list(range(points.shape[0]))
+        active_rows = np.arange(points.shape[0], dtype=np.intp)
+        active_points = points
         clusters: list[list[int]] = []
-        while len(remaining) >= 2 * k:
-            subset = points[remaining]
-            seed_local = int(np.argmax(((subset - centroid) ** 2).sum(axis=1)))
-            seed_global = remaining[seed_local]
-            distances = ((subset - points[seed_global]) ** 2).sum(axis=1)
-            order = np.argsort(distances, kind="stable")
-            chosen = [remaining[int(i)] for i in order[:k]]
-            clusters.append(chosen)
-            remaining = [idx for idx in remaining if idx not in set(chosen)]
+        while active_rows.size >= 2 * k:
+            seed_position = int(np.argmax(_sq_distances(active_points, centroid)))
+            distances = _sq_distances(active_points, active_points[seed_position])
+            chosen = _k_smallest(distances, k)
+            clusters.append(active_rows[chosen].tolist())
+            keep = np.ones(active_rows.size, dtype=bool)
+            keep[chosen] = False
+            active_rows = active_rows[keep]
+            active_points = active_points[keep]
 
-        if remaining:
-            if len(remaining) >= k or not clusters:
-                clusters.append(list(remaining))
+        if active_rows.size:
+            if active_rows.size >= k or not clusters:
+                clusters.append(active_rows.tolist())
             else:
-                for idx in remaining:
+                for index in active_rows.tolist():
                     nearest = min(
                         range(len(clusters)),
                         key=lambda c: float(
-                            ((points[clusters[c]] - points[idx]) ** 2).sum(axis=1).min()
+                            _sq_distances(points[clusters[c]], points[index]).min()
                         ),
                     )
-                    clusters[nearest].append(idx)
+                    clusters[nearest].append(index)
 
         return [EquivalenceClass(tuple(sorted(cluster))) for cluster in clusters]

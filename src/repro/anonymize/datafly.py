@@ -16,8 +16,9 @@ class and are reported via ``AnonymizationResult.suppressed``.
 
 from __future__ import annotations
 
-from collections import Counter
 from typing import Mapping
+
+import numpy as np
 
 from repro.anonymize.base import (
     AnonymizationResult,
@@ -26,7 +27,7 @@ from repro.anonymize.base import (
     validate_k,
 )
 from repro.anonymize.kanonymity import equivalence_classes_of_release
-from repro.dataset.generalization import SUPPRESSED
+from repro.anonymize.suppression import suppress_cells
 from repro.dataset.hierarchy import GeneralizationHierarchy, NumericHierarchy
 from repro.dataset.table import Table
 from repro.exceptions import AnonymizationError, InfeasibleAnonymizationError
@@ -123,16 +124,20 @@ class DataflyAnonymizer(BaseAnonymizer):
         for name, level in levels.items():
             hierarchy = hierarchies[name]
             capped = min(level, hierarchy.levels - 1)
-            generalized = [hierarchy.generalize(v, capped) for v in table.column(name)]
+            if capped == 0:
+                continue  # level 0 keeps the exact column
+            generalized = hierarchy.generalize_column(table.column_array(name), capped)
             release = release.replace_column(name, generalized)
         return release
 
     def _rows_below_k(self, release: Table, k: int) -> list[int]:
-        from repro.anonymize.kanonymity import quasi_identifier_signature
+        from repro.anonymize.kanonymity import release_signature_codes
 
-        signatures = [quasi_identifier_signature(release, i) for i in range(release.num_rows)]
-        counts = Counter(signatures)
-        return [i for i, signature in enumerate(signatures) if counts[signature] < k]
+        codes = release_signature_codes(release)
+        if codes.size == 0:
+            return []
+        class_sizes = np.bincount(codes)
+        return np.nonzero(class_sizes[codes] < k)[0].tolist()
 
     def _most_distinct_attribute(
         self,
@@ -146,16 +151,18 @@ class DataflyAnonymizer(BaseAnonymizer):
         ]
         if not candidates:
             return None
-        distinct = {name: len({str(v) for v in release.column(name)}) for name in candidates}
+        distinct: dict[str, int] = {}
+        for name in candidates:
+            array = release.column_array(name)
+            if array.dtype.kind in "if":
+                distinct[name] = int(np.unique(array).size)
+            else:
+                distinct[name] = len({str(v) for v in array})
         return max(candidates, key=lambda name: distinct[name])
 
     def _suppress(self, release: Table, rows: list[int]) -> tuple[Table, list[int]]:
         if not rows:
             return release, []
-        suppressed_set = set(rows)
-        for name in release.schema.quasi_identifiers:
-            column = release.column(name)
-            for i in suppressed_set:
-                column[i] = SUPPRESSED
-            release = release.replace_column(name, column)
-        return release, sorted(suppressed_set)
+        suppressed = sorted(set(rows))
+        release = suppress_cells(release, suppressed, release.schema.quasi_identifiers)
+        return release, suppressed

@@ -5,12 +5,23 @@ quasi-identifier cells may be generalized) independently of which algorithm
 produced it.  They are used by the test-suite invariants and by the
 :mod:`repro.metrics.utility` discernibility metric, which needs the class
 structure of a release.
+
+Class extraction is vectorized over the columnar table core: each
+quasi-identifier column is encoded into an integer *signature code* array
+(``np.unique`` for numeric columns, an identity-memoized canonical-form dictionary
+for object columns whose generalized cells are shared per class), the
+per-column codes are folded into one row-signature code, and the equivalence
+classes fall out of a single ``np.unique`` pass — no per-row tuple building on
+the hot path.  The per-row :func:`quasi_identifier_signature` form is kept for
+spot checks and API compatibility.
 """
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
+from collections import Counter
 from typing import Hashable
+
+import numpy as np
 
 from repro.anonymize.base import EquivalenceClass
 from repro.dataset.generalization import CategorySet, Interval, Suppressed
@@ -18,6 +29,7 @@ from repro.dataset.table import Table
 
 __all__ = [
     "quasi_identifier_signature",
+    "release_signature_codes",
     "equivalence_classes_of_release",
     "anonymity_level",
     "is_k_anonymous",
@@ -45,12 +57,79 @@ def quasi_identifier_signature(table: Table, row_index: int) -> tuple[Hashable, 
     )
 
 
+def _column_signature_codes(table: Table, name: str) -> np.ndarray:
+    """Integer codes such that two rows share a code iff their cells match.
+
+    Numeric columns go through one ``np.unique``; ``NaN`` cells are kept
+    distinct (a ``NaN`` quasi-identifier never matches another row, exactly as
+    the per-row tuple signatures behave).  Object columns canonicalize each
+    *distinct object* once (release columns share one generalized cell object
+    per equivalence class) and match by :func:`_cell_signature` equality.
+    """
+    array = table.column_array(name)
+    if array.dtype.kind in "if":
+        _, codes = np.unique(array, return_inverse=True)
+        codes = codes.astype(np.int64, copy=False)
+        if array.dtype.kind == "f":
+            missing = np.isnan(array)
+            if missing.any():
+                base = int(codes.max(initial=-1)) + 1
+                codes[missing] = base + np.arange(int(missing.sum()))
+        return codes
+
+    codes = np.empty(array.shape[0], dtype=np.int64)
+    by_identity: dict[int, int] = {}
+    by_signature: dict[Hashable, int] = {}
+    for i, value in enumerate(array):
+        code = by_identity.get(id(value))
+        if code is None:
+            signature = _cell_signature(value)
+            code = by_signature.get(signature)
+            if code is None:
+                code = len(by_signature)
+                by_signature[signature] = code
+            by_identity[id(value)] = code
+        codes[i] = code
+    return codes
+
+
+def release_signature_codes(release: Table) -> np.ndarray:
+    """Row-signature codes over the quasi-identifiers of a release.
+
+    Two rows receive the same code iff their generalized quasi-identifier
+    signatures are identical.  Codes are compacted after every column fold so
+    they stay below the row count (no overflow for wide quasi-identifier
+    sets).
+    """
+    qi_names = release.schema.quasi_identifiers
+    combined = np.zeros(release.num_rows, dtype=np.int64)
+    for name in qi_names:
+        column_codes = _column_signature_codes(release, name)
+        cardinality = int(column_codes.max(initial=-1)) + 1
+        _, combined = np.unique(
+            combined * cardinality + column_codes, return_inverse=True
+        )
+        combined = combined.astype(np.int64, copy=False)
+    return combined
+
+
 def equivalence_classes_of_release(release: Table) -> list[EquivalenceClass]:
-    """Group release rows by identical (generalized) quasi-identifier signatures."""
-    groups: dict[tuple[Hashable, ...], list[int]] = defaultdict(list)
-    for i in range(release.num_rows):
-        groups[quasi_identifier_signature(release, i)].append(i)
-    return [EquivalenceClass(tuple(indices)) for indices in groups.values()]
+    """Group release rows by identical (generalized) quasi-identifier signatures.
+
+    Classes come back in order of first appearance with ascending row indices
+    inside each class, matching the historical per-row grouping.
+    """
+    if release.num_rows == 0:
+        return []
+    codes = release_signature_codes(release)
+    _, first_seen, counts = np.unique(codes, return_index=True, return_counts=True)
+    grouped_rows = np.argsort(codes, kind="stable")
+    boundaries = np.cumsum(counts)[:-1]
+    groups = np.split(grouped_rows, boundaries)
+    appearance_order = np.argsort(first_seen, kind="stable")
+    return [
+        EquivalenceClass(tuple(groups[g].tolist())) for g in appearance_order
+    ]
 
 
 def anonymity_level(release: Table) -> int:
@@ -61,8 +140,8 @@ def anonymity_level(release: Table) -> int:
     """
     if release.num_rows == 0:
         return 0
-    classes = equivalence_classes_of_release(release)
-    return min(c.size for c in classes)
+    codes = release_signature_codes(release)
+    return int(np.bincount(codes).min())
 
 
 def is_k_anonymous(release: Table, k: int) -> bool:

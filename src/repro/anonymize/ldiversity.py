@@ -17,7 +17,6 @@ practice for numeric sensitive attributes.
 from __future__ import annotations
 
 import math
-from collections import Counter
 from typing import Sequence
 
 import numpy as np
@@ -43,20 +42,18 @@ def discretize_sensitive(table: Table, bins: int = 5) -> list[int]:
     if np.isnan(values).any():
         raise MetricError("sensitive column contains missing values")
     edges = np.quantile(values, np.linspace(0.0, 1.0, bins + 1)[1:-1])
-    return [int(np.searchsorted(edges, v, side="right")) for v in values]
-
-
-def _class_labels(
-    labels: Sequence[int], equivalence_class: EquivalenceClass
-) -> list[int]:
-    return [labels[i] for i in equivalence_class.indices]
+    return np.searchsorted(edges, values, side="right").astype(int).tolist()
 
 
 def distinct_diversity(labels: Sequence[int], classes: Sequence[EquivalenceClass]) -> int:
     """Minimum number of distinct sensitive labels across all classes."""
     if not classes:
         raise MetricError("no equivalence classes supplied")
-    return min(len(set(_class_labels(labels, c))) for c in classes)
+    label_array = np.asarray(labels)
+    return min(
+        int(np.unique(label_array[np.asarray(c.indices, dtype=np.intp)]).size)
+        for c in classes
+    )
 
 
 def entropy_diversity(labels: Sequence[int], classes: Sequence[EquivalenceClass]) -> float:
@@ -66,13 +63,12 @@ def entropy_diversity(labels: Sequence[int], classes: Sequence[EquivalenceClass]
     """
     if not classes:
         raise MetricError("no equivalence classes supplied")
+    label_array = np.asarray(labels, dtype=np.intp)
     worst = math.inf
     for equivalence_class in classes:
-        counts = Counter(_class_labels(labels, equivalence_class))
-        total = sum(counts.values())
-        entropy = -sum(
-            (count / total) * math.log(count / total) for count in counts.values()
-        )
+        counts = np.bincount(label_array[np.asarray(equivalence_class.indices, dtype=np.intp)])
+        probabilities = counts[counts > 0] / equivalence_class.size
+        entropy = float(-np.sum(probabilities * np.log(probabilities)))
         worst = min(worst, math.exp(entropy))
     return worst
 

@@ -19,6 +19,16 @@ Distances are Euclidean over the column-standardized numeric quasi-identifier
 matrix.  All groups end up with between ``k`` and ``2k - 1`` records, the
 property the discernibility utility metric and the dissimilarity measure rely
 on.
+
+The grouping loop is fully vectorized: the not-yet-grouped records live in a
+compacted point matrix alongside their global row indices, every group is
+selected with one distance buffer and an ``np.partition``-based k-smallest
+pick (``O(remaining)`` instead of a full sort), and grouped rows are retired
+with a single boolean-mask compaction — no ``list.index`` / ``list.remove``
+bookkeeping, no per-call fancy-indexed subsets.  Tie-breaking matches the
+historical stable-argsort selection (equal distances resolve to the lowest
+remaining row index), so partitions are identical to the original
+implementation's.
 """
 
 from __future__ import annotations
@@ -58,47 +68,56 @@ def _sq_distances(points: np.ndarray, reference: np.ndarray) -> np.ndarray:
     return np.einsum("ij,ij->i", deltas, deltas)
 
 
-def _take_group(points: np.ndarray, remaining: list[int], anchor_global: int, k: int) -> list[int]:
-    """Pop ``anchor`` and its ``k-1`` nearest records from ``remaining``."""
-    subset = points[remaining]
-    anchor_local = remaining.index(anchor_global)
-    distances = _sq_distances(subset, points[anchor_global])
-    distances[anchor_local] = -1.0  # ensure the anchor itself is selected first
-    order = np.argsort(distances, kind="stable")
-    chosen_locals = [int(i) for i in order[:k]]
-    group = [remaining[i] for i in chosen_locals]
-    for idx in group:
-        remaining.remove(idx)
-    return group
+def _k_smallest(distances: np.ndarray, k: int) -> np.ndarray:
+    """Positions of the ``k`` smallest distances, earliest positions on ties.
 
-
-def _farthest_from(points: np.ndarray, remaining: list[int], reference: np.ndarray) -> int:
-    """Global index of the remaining record farthest from ``reference``."""
-    subset = points[remaining]
-    local = int(np.argmax(_sq_distances(subset, reference)))
-    return remaining[local]
+    Equivalent to ``np.argsort(distances, kind="stable")[:k]`` as a *set* (and
+    therefore to the historical selection), but runs in ``O(n)`` via
+    ``np.partition`` instead of ``O(n log n)``.
+    """
+    if k >= distances.size:
+        return np.arange(distances.size, dtype=np.intp)
+    threshold = np.partition(distances, k - 1)[k - 1]
+    below = np.nonzero(distances < threshold)[0]
+    at_threshold = np.nonzero(distances == threshold)[0]
+    needed = k - below.size
+    return np.concatenate([below, at_threshold[:needed]])
 
 
 def _mdav_groups(points: np.ndarray, k: int) -> list[list[int]]:
     """Run the MDAV grouping loop over row vectors ``points``."""
-    remaining = list(range(points.shape[0]))
+    active_rows = np.arange(points.shape[0], dtype=np.intp)
+    active_points = points
     groups: list[list[int]] = []
 
-    while len(remaining) >= 3 * k:
-        centroid = points[remaining].mean(axis=0)
-        r_global = _farthest_from(points, remaining, centroid)
-        r_point = points[r_global].copy()
-        groups.append(_take_group(points, remaining, r_global, k))
+    def take_group(anchor_position: int) -> None:
+        """Retire the anchor and its ``k-1`` nearest active records as a group."""
+        nonlocal active_rows, active_points
+        distances = _sq_distances(active_points, active_points[anchor_position])
+        distances[anchor_position] = -1.0  # the anchor itself is selected first
+        chosen = _k_smallest(distances, k)
+        groups.append(active_rows[chosen].tolist())
+        keep = np.ones(active_rows.size, dtype=bool)
+        keep[chosen] = False
+        active_rows = active_rows[keep]
+        active_points = active_points[keep]
 
-        s_global = _farthest_from(points, remaining, r_point)
-        groups.append(_take_group(points, remaining, s_global, k))
+    def farthest_from(reference: np.ndarray) -> int:
+        """Position (within the active set) of the record farthest from ``reference``."""
+        return int(np.argmax(_sq_distances(active_points, reference)))
 
-    if len(remaining) >= 2 * k:
-        centroid = points[remaining].mean(axis=0)
-        r_global = _farthest_from(points, remaining, centroid)
-        groups.append(_take_group(points, remaining, r_global, k))
+    while active_rows.size >= 3 * k:
+        centroid = active_points.mean(axis=0)
+        r_position = farthest_from(centroid)
+        r_point = active_points[r_position].copy()
+        take_group(r_position)
+        take_group(farthest_from(r_point))
 
-    if remaining:
-        groups.append(list(remaining))
+    if active_rows.size >= 2 * k:
+        centroid = active_points.mean(axis=0)
+        take_group(farthest_from(centroid))
+
+    if active_rows.size:
+        groups.append(active_rows.tolist())
 
     return groups

@@ -6,6 +6,12 @@ the median of the quasi-identifier with the widest (normalized) range, as long
 as both halves retain at least ``k`` records; leaves of the recursion become
 the equivalence classes.
 
+The recursion carries ``np.intp`` index arrays instead of Python lists: the
+median comes from ``np.median`` (introselect partition under the hood), strict
+splits are boolean-mask gathers on the index array, and relaxed splits use a
+stable argsort of the candidate dimension — every partitioning step is a
+vectorized numpy operation over the recursion's own index array.
+
 Compared with MDAV (the scheme used by the paper's experiments) Mondrian tends
 to produce classes of more uneven size, which is precisely why it is useful as
 an ablation baseline for the utility and protection curves.
@@ -20,6 +26,9 @@ from repro.dataset.table import Table
 from repro.exceptions import AnonymizationError
 
 __all__ = ["MondrianAnonymizer"]
+
+
+_EMPTY = np.empty(0, dtype=np.intp)
 
 
 class MondrianAnonymizer(BaseAnonymizer):
@@ -41,19 +50,19 @@ class MondrianAnonymizer(BaseAnonymizer):
         spans = matrix.max(axis=0) - matrix.min(axis=0)
         spans = np.where(spans <= 0, 1.0, spans)
         classes: list[EquivalenceClass] = []
-        self._split(matrix, spans, list(range(table.num_rows)), k, classes)
+        self._split(matrix, spans, np.arange(table.num_rows, dtype=np.intp), k, classes)
         return classes
 
     def _split(
         self,
         matrix: np.ndarray,
         spans: np.ndarray,
-        indices: list[int],
+        indices: np.ndarray,
         k: int,
         out: list[EquivalenceClass],
     ) -> None:
-        if len(indices) < 2 * k:
-            out.append(EquivalenceClass(tuple(sorted(indices))))
+        if indices.size < 2 * k:
+            out.append(EquivalenceClass(tuple(np.sort(indices).tolist())))
             return
 
         subset = matrix[indices]
@@ -63,25 +72,26 @@ class MondrianAnonymizer(BaseAnonymizer):
             if normalized_ranges[dimension] <= 0:
                 break
             left, right = self._partition_on(subset[:, dimension], indices, k)
-            if left and right:
+            if left.size and right.size:
                 self._split(matrix, spans, left, k, out)
                 self._split(matrix, spans, right, k, out)
                 return
-        out.append(EquivalenceClass(tuple(sorted(indices))))
+        out.append(EquivalenceClass(tuple(np.sort(indices).tolist())))
 
     def _partition_on(
-        self, values: np.ndarray, indices: list[int], k: int
-    ) -> tuple[list[int], list[int]]:
-        """Split ``indices`` at the median of ``values``; empty lists when invalid."""
+        self, values: np.ndarray, indices: np.ndarray, k: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Split ``indices`` at the median of ``values``; empty arrays when invalid."""
         median = float(np.median(values))
         if self.strict:
-            left = [idx for idx, v in zip(indices, values) if v <= median]
-            right = [idx for idx, v in zip(indices, values) if v > median]
+            below = values <= median
+            left = indices[below]
+            right = indices[~below]
         else:
             order = np.argsort(values, kind="stable")
-            half = len(indices) // 2
-            left = [indices[int(i)] for i in order[:half]]
-            right = [indices[int(i)] for i in order[half:]]
-        if len(left) < k or len(right) < k:
-            return [], []
+            half = indices.size // 2
+            left = indices[order[:half]]
+            right = indices[order[half:]]
+        if left.size < k or right.size < k:
+            return _EMPTY, _EMPTY
         return left, right

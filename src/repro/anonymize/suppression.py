@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from repro.anonymize.base import AnonymizationResult, EquivalenceClass
 from repro.dataset.generalization import SUPPRESSED
 from repro.dataset.table import Table
@@ -44,14 +46,14 @@ def drop_identifiers(table: Table) -> Table:
 def suppress_cells(table: Table, rows: Sequence[int], columns: Sequence[str]) -> Table:
     """Suppress (replace with ``*``) the given cells of ``table``."""
     result = table
-    row_set = set(rows)
-    for i in row_set:
+    row_list = sorted(set(rows))
+    for i in row_list:
         if not 0 <= i < table.num_rows:
             raise AnonymizationError(f"row index {i} out of range")
     for name in columns:
-        column = result.column(name)
-        for i in row_set:
-            column[i] = SUPPRESSED
+        column = np.empty(table.num_rows, dtype=object)
+        column[:] = result.column(name)
+        column[row_list] = SUPPRESSED
         result = result.replace_column(name, column)
     return result
 

@@ -23,6 +23,14 @@ from repro.exceptions import MetricError
 __all__ = ["ordered_emd", "closeness", "is_t_close"]
 
 
+def _ordered_emd_of_probabilities(
+    class_probability: np.ndarray, global_probability: np.ndarray, bins: int
+) -> float:
+    """The ordered-distance EMD kernel over two per-bin probability vectors."""
+    cumulative = np.cumsum(class_probability - global_probability)
+    return float(np.sum(np.abs(cumulative[:-1])) / (bins - 1))
+
+
 def ordered_emd(class_counts: Counter, global_counts: Counter, bins: int) -> float:
     """Earth Mover's Distance between two ordered categorical distributions."""
     if bins < 2:
@@ -35,8 +43,15 @@ def ordered_emd(class_counts: Counter, global_counts: Counter, bins: int) -> flo
     global_probability = np.array(
         [global_counts.get(b, 0) / global_total for b in range(bins)]
     )
-    cumulative = np.cumsum(class_probability - global_probability)
-    return float(np.sum(np.abs(cumulative[:-1])) / (bins - 1))
+    return _ordered_emd_of_probabilities(class_probability, global_probability, bins)
+
+
+def _bin_probabilities(counts: np.ndarray, total: int, bins: int) -> np.ndarray:
+    """Per-bin probabilities of a bincount vector (labels past ``bins`` dropped)."""
+    probabilities = np.zeros(bins, dtype=float)
+    limit = min(bins, counts.size)
+    probabilities[:limit] = counts[:limit] / total
+    return probabilities
 
 
 def closeness(
@@ -44,15 +59,30 @@ def closeness(
 ) -> float:
     """Maximum EMD between any class distribution and the global distribution.
 
-    A release satisfies t-closeness when this value is at most ``t``.
+    A release satisfies t-closeness when this value is at most ``t``.  The
+    per-class distributions come from ``np.bincount`` over the label vector,
+    so the scan is one gather + one count per class.
     """
     if not classes:
         raise MetricError("no equivalence classes supplied")
-    global_counts = Counter(labels)
+    if bins < 2:
+        raise MetricError("ordered EMD requires at least 2 bins")
+    label_array = np.asarray(labels, dtype=np.intp)
+    if label_array.size == 0:
+        raise MetricError("cannot compute EMD of an empty distribution")
+    global_probability = _bin_probabilities(
+        np.bincount(label_array), label_array.size, bins
+    )
     worst = 0.0
     for equivalence_class in classes:
-        class_counts = Counter(labels[i] for i in equivalence_class.indices)
-        worst = max(worst, ordered_emd(class_counts, global_counts, bins))
+        member_labels = label_array[np.asarray(equivalence_class.indices, dtype=np.intp)]
+        class_probability = _bin_probabilities(
+            np.bincount(member_labels), member_labels.size, bins
+        )
+        worst = max(
+            worst,
+            _ordered_emd_of_probabilities(class_probability, global_probability, bins),
+        )
     return worst
 
 

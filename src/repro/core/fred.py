@@ -16,7 +16,13 @@ below ``Tu`` (higher levels can only be worse for utility).
 
 Batch evaluation and the parallel sweep
 ---------------------------------------
-Each level evaluation simulates the fusion attack **column-wise**: the attack
+Both halves of a level evaluation are vectorized.  The *release-production*
+half runs on the columnar table core: anonymizers partition over the cached
+numeric quasi-identifier matrix, ``build_release`` generalizes one cell per
+(class, column) pair and fans it out with fancy-index assignments, and the
+utility / dissimilarity metrics consume class-size and cost vectors (see
+:mod:`repro.dataset.table` and :mod:`repro.anonymize.base`).  The *attack*
+half simulates the fusion attack **column-wise**: the attack
 assembles one ``(N,)`` float array per fusion input (NaN marking missing
 cells), the fuzzy engines form the ``(N, n_rules)`` firing-strength matrix and
 defuzzify every record in one vectorized pass (see

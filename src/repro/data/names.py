@@ -37,19 +37,33 @@ LAST_NAMES = (
 
 
 def generate_names(count: int, seed: int = 0) -> list[str]:
-    """``count`` unique "First Last" names, deterministic in ``seed``.
+    """``count`` unique names, deterministic in ``seed``.
 
-    Raises :class:`~repro.exceptions.ReproError` when ``count`` exceeds the
-    number of distinct first/last combinations available.
+    The first ``len(FIRST_NAMES) * len(LAST_NAMES)`` names are plain
+    "First Last" combinations (identical to what earlier versions produced for
+    the same seed); beyond that, middle initials ``A.`` through ``Z.`` extend
+    the space 27-fold so population-scale datasets (tens of thousands of
+    records, as the anonymization benchmarks use) still get unique
+    identifiers.  Raises :class:`~repro.exceptions.ReproError` when ``count``
+    exceeds the extended capacity.
     """
     capacity = len(FIRST_NAMES) * len(LAST_NAMES)
+    middle_initials = tuple(chr(ord("A") + i) for i in range(26))
+    extended_capacity = capacity * (1 + len(middle_initials))
     if count < 0:
         raise ReproError("count must be non-negative")
-    if count > capacity:
+    if count > extended_capacity:
         raise ReproError(
-            f"cannot generate {count} unique names; capacity is {capacity}"
+            f"cannot generate {count} unique names; capacity is {extended_capacity}"
         )
     rng = np.random.default_rng(seed)
-    pairs = [(f, l) for f in FIRST_NAMES for l in LAST_NAMES]
+    pairs = [(first, last) for first in FIRST_NAMES for last in LAST_NAMES]
     order = rng.permutation(len(pairs))
-    return [f"{pairs[i][0]} {pairs[i][1]}" for i in order[:count]]
+    names = [
+        f"{pairs[i][0]} {pairs[i][1]}" for i in order[: min(count, capacity)]
+    ]
+    for extra in range(max(0, count - capacity)):
+        first, last = pairs[order[extra % capacity]]
+        middle = middle_initials[extra // capacity]
+        names.append(f"{first} {middle}. {last}")
+    return names

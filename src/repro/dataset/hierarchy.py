@@ -25,6 +25,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
+import numpy as np
+
 from repro.dataset.generalization import SUPPRESSED, CategorySet, Interval
 from repro.exceptions import HierarchyError
 
@@ -50,11 +52,36 @@ class GeneralizationHierarchy:
         """
         raise NotImplementedError
 
+    def generalize_column(self, values: Sequence[object] | np.ndarray, level: int) -> np.ndarray:
+        """Generalize a whole column to ``level``; returns an object array.
+
+        The generic implementation memoizes :meth:`generalize` per distinct
+        value, so equal cells share one generalized object; numeric
+        hierarchies override this with a fully vectorized binning.
+        """
+        self._check_level(level)
+        out = np.empty(len(values), dtype=object)
+        memo: dict[object, object] = {}
+        for i, value in enumerate(values):
+            try:
+                generalized = memo.get(value, _MISS)
+            except TypeError:  # unhashable cell: generalize directly
+                out[i] = self.generalize(value, level)
+                continue
+            if generalized is _MISS:
+                generalized = self.generalize(value, level)
+                memo[value] = generalized
+            out[i] = generalized
+        return out
+
     def _check_level(self, level: int) -> None:
         if not 0 <= level < self.levels:
             raise HierarchyError(
                 f"generalization level {level} out of range [0, {self.levels - 1}]"
             )
+
+
+_MISS = object()
 
 
 @dataclass
@@ -108,12 +135,47 @@ class NumericHierarchy(GeneralizationHierarchy):
         numeric = min(max(numeric, self.low), self.high)
         width = self.width_at(level)
         bin_index = math.floor((numeric - self.low) / width)
+        return self._bin_interval(bin_index, width)
+
+    def _bin_interval(self, bin_index: int, width: float) -> Interval:
+        """The interval of one bin (the top edge folds into the last bin)."""
         bin_low = self.low + bin_index * width
         bin_high = min(bin_low + width, self.high)
         if bin_low >= bin_high:  # value sits exactly on the top edge
             bin_low = max(self.low, self.high - width)
             bin_high = self.high
         return Interval(bin_low, bin_high)
+
+    def generalize_column(self, values: Sequence[object] | np.ndarray, level: int) -> np.ndarray:
+        """Vectorized binning of a whole numeric column.
+
+        Bin indices are computed for every cell at once; one
+        :class:`~repro.dataset.generalization.Interval` is built per occupied
+        bin (with the same bounds the scalar :meth:`generalize` produces) and
+        fanned out to its rows.  Non-numeric storage falls back to the
+        memoized scalar path.
+        """
+        self._check_level(level)
+        array = np.asarray(values)
+        if array.dtype.kind not in "if":
+            return super().generalize_column(array, level)
+        if level == 0:
+            out = np.empty(array.shape[0], dtype=object)
+            out[:] = array.tolist()
+            return out
+        if level == self.levels - 1:
+            return np.full(array.shape[0], SUPPRESSED, dtype=object)
+
+        numeric = array.astype(float, copy=False)
+        if np.isnan(numeric).any():
+            raise HierarchyError("cannot generalize missing (NaN) numeric values")
+        clipped = np.clip(numeric, self.low, self.high)
+        width = self.width_at(level)
+        bins = np.floor((clipped - self.low) / width).astype(np.int64)
+        out = np.empty(array.shape[0], dtype=object)
+        for bin_index in np.unique(bins):
+            out[bins == bin_index] = self._bin_interval(int(bin_index), width)
+        return out
 
 
 @dataclass

@@ -11,7 +11,6 @@ from __future__ import annotations
 import csv
 import re
 from pathlib import Path
-from typing import Iterable
 
 from repro.dataset.generalization import SUPPRESSED, CategorySet, Interval
 from repro.dataset.schema import Attribute, AttributeKind, AttributeRole, Schema

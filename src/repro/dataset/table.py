@@ -12,21 +12,118 @@ the paper's pipeline needs:
 * derivation of the *enterprise release* (keep identifiers, generalize
   quasi-identifiers, drop the sensitive column).
 
-Tables are value-semantics objects: every operation returns a new table, and
-columns handed to the constructor are copied.
+Columnar storage
+----------------
+Each column is a typed ``numpy`` array: ``int64`` when every cell is a plain
+integer, ``float64`` when every cell is numeric (``nan`` marking missing
+values), and ``object`` for identifiers, categoricals and generalized cells
+(:class:`~repro.dataset.generalization.Interval`, ``CategorySet``, ``*``).
+Relational operations (``take``, ``project``, ``join``, ``concat``) move whole
+arrays — projections and renames share the underlying arrays outright, row
+gathers are single fancy-index calls — instead of rebuilding ``list[object]``
+columns cell by cell.  Numeric views (``numeric_column`` and friends) are
+computed once per column and cached, so the anonymizers, metrics and the
+fusion attack all read from the same float buffers.
+
+Tables are value-semantics objects: every operation returns a new table, the
+internal arrays are never mutated after construction, and sequences handed to
+the constructor are copied.  Accessors (``column``, ``row``, ``cell``) return
+plain Python values, never numpy scalars, so downstream type dispatch
+(``isinstance(v, (int, float))``) behaves exactly as it did with list-backed
+columns.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
 from repro.dataset.generalization import numeric_representative, value_to_text
-from repro.dataset.schema import Attribute, AttributeKind, AttributeRole, Schema
+from repro.dataset.schema import Attribute, Schema
 from repro.exceptions import SchemaError, TableError
 
 __all__ = ["Table"]
+
+
+def _as_column_array(values: Sequence[object] | np.ndarray) -> np.ndarray:
+    """Coerce a column to its typed storage array (int64 / float64 / object)."""
+    if isinstance(values, np.ndarray):
+        if values.ndim != 1:
+            raise TableError(f"columns must be one-dimensional, got shape {values.shape}")
+        kind = values.dtype.kind
+        if kind in ("i", "u"):
+            return values.astype(np.int64)
+        if kind == "f":
+            return values.astype(np.float64)
+        if values.dtype == object:
+            return values.copy()
+        values = values.tolist()
+    else:
+        values = list(values)
+
+    all_int = True
+    numeric = bool(values)
+    for value in values:
+        if isinstance(value, (bool, np.bool_)) or not isinstance(
+            value, (int, float, np.integer, np.floating)
+        ):
+            numeric = False
+            break
+        if not isinstance(value, (int, np.integer)):
+            all_int = False
+
+    if numeric:
+        try:
+            return np.array(values, dtype=np.int64 if all_int else np.float64)
+        except (OverflowError, ValueError):
+            pass  # e.g. integers beyond int64: keep exact objects
+    array = np.empty(len(values), dtype=object)
+    if len(values):
+        try:
+            array[:] = values
+        except ValueError:  # cells that look like nested sequences to numpy
+            for i, value in enumerate(values):
+                array[i] = value
+    return array
+
+
+def _py_value(value: object) -> object:
+    """Unwrap numpy scalars so accessors hand out plain Python values."""
+    return value.item() if isinstance(value, np.generic) else value
+
+
+def _column_to_list(array: np.ndarray) -> list[object]:
+    """A fresh Python list of a storage array's values."""
+    return array.tolist() if array.dtype != object else list(array)
+
+
+def _cells_equal(left: object, right: object) -> bool:
+    """Scalar cell equality that treats NaN as equal to NaN."""
+    if left is right:
+        return True
+    if isinstance(left, float) and isinstance(right, float):
+        if math.isnan(left) and math.isnan(right):
+            return True
+    return bool(left == right)
+
+
+def _arrays_equal(left: np.ndarray, right: np.ndarray) -> bool:
+    """NaN-aware equality of two storage arrays (possibly of different dtypes)."""
+    if left.shape != right.shape:
+        return False
+    left_kind, right_kind = left.dtype.kind, right.dtype.kind
+    if left_kind == "i" and right_kind == "i":
+        return bool(np.array_equal(left, right))
+    if left_kind == "f" and right_kind == "f":
+        return bool(np.array_equal(left, right, equal_nan=True))
+    # Mixed dtypes (int vs float, object vs anything): exact scalar
+    # comparison — casting int64 to float64 would conflate integers that
+    # differ beyond 2**53.
+    return all(
+        _cells_equal(a, b) for a, b in zip(_column_to_list(left), _column_to_list(right))
+    )
 
 
 class Table:
@@ -41,6 +138,8 @@ class Table:
         attribute must be present and all columns must share the same length.
     """
 
+    __slots__ = ("_schema", "_columns", "_num_rows", "_numeric_views")
+
     def __init__(self, schema: Schema, columns: Mapping[str, Sequence[object]]) -> None:
         self._schema = schema
         missing = [name for name in schema.names if name not in columns]
@@ -50,14 +149,30 @@ class Table:
         if extra:
             raise TableError(f"columns not declared in schema: {extra}")
 
-        lengths = {name: len(columns[name]) for name in schema.names}
+        arrays = {name: _as_column_array(columns[name]) for name in schema.names}
+        lengths = {name: array.shape[0] for name, array in arrays.items()}
         if len(set(lengths.values())) > 1:
             raise TableError(f"columns have inconsistent lengths: {lengths}")
 
-        self._columns: dict[str, list[object]] = {
-            name: list(columns[name]) for name in schema.names
-        }
+        self._columns: dict[str, np.ndarray] = arrays
         self._num_rows = next(iter(lengths.values())) if lengths else 0
+        self._numeric_views: dict[str, np.ndarray] = {}
+
+    @classmethod
+    def _from_arrays(
+        cls, schema: Schema, arrays: dict[str, np.ndarray], num_rows: int
+    ) -> "Table":
+        """Internal zero-copy constructor: ``arrays`` are adopted, not copied.
+
+        Callers must hand over storage arrays that are never mutated again —
+        this is how projections, gathers and joins share column buffers.
+        """
+        table = cls.__new__(cls)
+        table._schema = schema
+        table._columns = arrays
+        table._num_rows = num_rows
+        table._numeric_views = {}
+        return table
 
     # Construction helpers ------------------------------------------------------
 
@@ -112,7 +227,12 @@ class Table:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Table):
             return NotImplemented
-        return self._schema.names == other._schema.names and self._columns == other._columns
+        if self._schema.names != other._schema.names:
+            return False
+        return all(
+            _arrays_equal(self._columns[name], other._columns[name])
+            for name in self._schema.names
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Table(rows={self.num_rows}, columns={list(self._schema.names)})"
@@ -121,105 +241,162 @@ class Table:
 
     def column(self, name: str) -> list[object]:
         """A copy of the values of column ``name``."""
-        if name not in self._columns:
+        return _column_to_list(self.column_array(name))
+
+    def column_array(self, name: str) -> np.ndarray:
+        """The typed storage array of column ``name``.
+
+        The returned array is the table's own buffer — treat it as read-only.
+        Numeric columns are ``int64``/``float64``; identifier, categorical and
+        generalized columns are ``object``.
+        """
+        array = self._columns.get(name)
+        if array is None:
             raise TableError(f"unknown column: {name!r}")
-        return list(self._columns[name])
+        return array
 
     def numeric_column(self, name: str) -> np.ndarray:
         """Column ``name`` as a float array, resolving generalized cells.
 
         Intervals map to their midpoints; suppressed / categorical cells map
-        to ``nan``.
+        to ``nan``.  The conversion is cached per column; callers receive a
+        fresh copy they are free to mutate.
         """
-        return np.array([numeric_representative(v) for v in self.column(name)], dtype=float)
+        return self._numeric_view(name).copy()
+
+    def _numeric_view(self, name: str) -> np.ndarray:
+        """The cached float view of a column.  Internal callers must not mutate."""
+        view = self._numeric_views.get(name)
+        if view is None:
+            array = self.column_array(name)
+            if array.dtype.kind in "if":
+                view = array.astype(np.float64, copy=False)
+            else:
+                view = _numeric_view_of_objects(array)
+            self._numeric_views[name] = view
+        return view
 
     def row(self, index: int) -> dict[str, object]:
         """Row ``index`` as a ``{column: value}`` dict."""
         if not 0 <= index < self._num_rows:
             raise TableError(f"row index {index} out of range [0, {self._num_rows})")
-        return {name: self._columns[name][index] for name in self._schema.names}
+        return {
+            name: _py_value(self._columns[name][index]) for name in self._schema.names
+        }
 
     def rows(self) -> list[dict[str, object]]:
         """All rows as dicts (in row order)."""
-        return [self.row(i) for i in range(self._num_rows)]
+        names = self._schema.names
+        if not names:
+            return []
+        columns = [self.column(name) for name in names]
+        return [dict(zip(names, values)) for values in zip(*columns)]
 
     def cell(self, index: int, name: str) -> object:
         """The single cell at (``index``, ``name``)."""
-        if name not in self._columns:
-            raise TableError(f"unknown column: {name!r}")
+        array = self.column_array(name)
         if not 0 <= index < self._num_rows:
             raise TableError(f"row index {index} out of range [0, {self._num_rows})")
-        return self._columns[name][index]
+        return _py_value(array[index])
 
     # Relational operations --------------------------------------------------------
 
     def project(self, names: Sequence[str]) -> "Table":
-        """Keep only the columns in ``names`` (schema roles are preserved)."""
+        """Keep only the columns in ``names`` (schema roles are preserved).
+
+        Column buffers are shared with the parent table (zero-copy).
+        """
         schema = self._schema.project(names)
-        return Table(schema, {name: self._columns[name] for name in names})
+        arrays = {name: self._columns[name] for name in names}
+        return Table._from_arrays(schema, arrays, self._num_rows)
 
     def drop_columns(self, names: Sequence[str]) -> "Table":
-        """Drop the columns in ``names``."""
+        """Drop the columns in ``names`` (remaining buffers are shared)."""
         schema = self._schema.drop(names)
-        return Table(schema, {name: self._columns[name] for name in schema.names})
+        arrays = {name: self._columns[name] for name in schema.names}
+        return Table._from_arrays(schema, arrays, self._num_rows)
 
     def select(self, predicate: Callable[[dict[str, object]], bool]) -> "Table":
         """Rows for which ``predicate(row_dict)`` is truthy."""
-        keep = [i for i in range(self._num_rows) if predicate(self.row(i))]
+        keep = [i for i, row in enumerate(self.rows()) if predicate(row)]
         return self.take(keep)
 
     def take(self, indices: Sequence[int]) -> "Table":
-        """Rows at ``indices`` in the given order."""
-        for i in indices:
-            if not 0 <= i < self._num_rows:
-                raise TableError(f"row index {i} out of range [0, {self._num_rows})")
-        columns = {
-            name: [self._columns[name][i] for i in indices] for name in self._schema.names
-        }
-        return Table(self._schema, columns)
+        """Rows at ``indices`` in the given order (one fancy-index per column)."""
+        index_array = np.asarray(indices, dtype=np.intp)
+        if index_array.ndim != 1:
+            raise TableError(f"row indices must be one-dimensional, got {index_array.shape}")
+        if index_array.size:
+            bad = (index_array < 0) | (index_array >= self._num_rows)
+            if bad.any():
+                offender = int(index_array[bad][0])
+                raise TableError(
+                    f"row index {offender} out of range [0, {self._num_rows})"
+                )
+        arrays = {name: array[index_array] for name, array in self._columns.items()}
+        return Table._from_arrays(self._schema, arrays, int(index_array.size))
 
     def sort_by(self, name: str, reverse: bool = False) -> "Table":
-        """Rows sorted by column ``name``."""
-        column = self.column(name)
-        order = sorted(range(self._num_rows), key=lambda i: column[i], reverse=reverse)
+        """Rows stably sorted by column ``name``.
+
+        Columns whose cells do not admit a direct total order (``None``,
+        generalized cells, mixed types) fall back to sorting by the numeric
+        representative of each cell; cells with no numeric representative
+        (suppressed / categorical) sort after all resolvable cells regardless
+        of ``reverse``.
+        """
+        values = self.column(name)
+        try:
+            order = sorted(range(self._num_rows), key=values.__getitem__, reverse=reverse)
+        except TypeError:
+            keys: list[tuple[int, float]] = []
+            for value in values:
+                representative = numeric_representative(value)
+                if math.isnan(representative):
+                    keys.append((1, 0.0))
+                else:
+                    keys.append((0, -representative if reverse else representative))
+            order = sorted(range(self._num_rows), key=keys.__getitem__)
         return self.take(order)
 
     def with_column(self, attribute: Attribute, values: Sequence[object]) -> "Table":
         """A new table with an extra column appended."""
         if attribute.name in self._schema:
             raise TableError(f"column {attribute.name!r} already exists")
-        if len(values) != self._num_rows:
+        array = _as_column_array(values)
+        if array.shape[0] != self._num_rows:
             raise TableError(
-                f"new column has {len(values)} values, table has {self._num_rows} rows"
+                f"new column has {array.shape[0]} values, table has {self._num_rows} rows"
             )
         schema = Schema(list(self._schema.attributes) + [attribute])
-        columns = dict(self._columns)
-        columns[attribute.name] = list(values)
-        return Table(schema, columns)
+        arrays = dict(self._columns)
+        arrays[attribute.name] = array
+        return Table._from_arrays(schema, arrays, self._num_rows)
 
     def replace_column(self, name: str, values: Sequence[object]) -> "Table":
         """A new table with column ``name`` replaced by ``values``."""
         if name not in self._schema:
             raise TableError(f"unknown column: {name!r}")
-        if len(values) != self._num_rows:
+        array = _as_column_array(values)
+        if array.shape[0] != self._num_rows:
             raise TableError(
-                f"replacement column has {len(values)} values, table has {self._num_rows} rows"
+                f"replacement column has {array.shape[0]} values, table has {self._num_rows} rows"
             )
-        columns = dict(self._columns)
-        columns[name] = list(values)
-        return Table(self._schema, columns)
+        arrays = dict(self._columns)
+        arrays[name] = array
+        return Table._from_arrays(self._schema, arrays, self._num_rows)
 
     def rename(self, mapping: Mapping[str, str]) -> "Table":
         """A new table with columns renamed according to ``mapping``."""
         attributes = []
-        columns: dict[str, list[object]] = {}
+        arrays: dict[str, np.ndarray] = {}
         for attribute in self._schema.attributes:
             new_name = mapping.get(attribute.name, attribute.name)
             attributes.append(
                 Attribute(new_name, attribute.role, attribute.kind, attribute.description)
             )
-            columns[new_name] = self._columns[attribute.name]
-        return Table(Schema(attributes), columns)
+            arrays[new_name] = self._columns[attribute.name]
+        return Table._from_arrays(Schema(attributes), arrays, self._num_rows)
 
     def join(self, other: "Table", on: str, how: str = "inner") -> "Table":
         """Join two tables on equality of column ``on``.
@@ -228,6 +405,10 @@ class Table:
         have unique join keys (this is how the adversary attaches auxiliary web
         attributes to release records).  Missing right-side values in a left
         join are ``None``.
+
+        The join is a hash join: right keys are indexed once, left keys are
+        mapped to right positions in a single pass, and the output columns are
+        gathered with one fancy-index per column instead of per-row appends.
         """
         if how not in ("inner", "left"):
             raise TableError(f"unsupported join type: {how!r}")
@@ -244,31 +425,61 @@ class Table:
         if clashing:
             raise TableError(f"join would duplicate columns: {clashing}")
 
+        left_keys = self.column(on)
+        positions = np.fromiter(
+            (right_index.get(key, -1) for key in left_keys),
+            dtype=np.intp,
+            count=self._num_rows,
+        )
         joined_schema = Schema(list(self._schema.attributes) + right_only)
-        columns: dict[str, list[object]] = {name: [] for name in joined_schema.names}
-        for i in range(self._num_rows):
-            key = self._columns[on][i]
-            if key not in right_index and how == "inner":
-                continue
-            for name in self._schema.names:
-                columns[name].append(self._columns[name][i])
-            if key in right_index:
-                j = right_index[key]
-                for attribute in right_only:
-                    columns[attribute.name].append(other._columns[attribute.name][j])
-            else:
-                for attribute in right_only:
-                    columns[attribute.name].append(None)
-        return Table(joined_schema, columns)
+
+        if how == "inner":
+            left_rows = np.nonzero(positions >= 0)[0]
+            right_rows = positions[left_rows]
+            arrays = {
+                name: array[left_rows] for name, array in self._columns.items()
+            }
+            for attribute in right_only:
+                arrays[attribute.name] = other._columns[attribute.name][right_rows]
+            return Table._from_arrays(joined_schema, arrays, int(left_rows.size))
+
+        matched = positions >= 0
+        arrays = dict(self._columns)
+        if bool(matched.all()) and other._num_rows:
+            for attribute in right_only:
+                arrays[attribute.name] = other._columns[attribute.name][positions]
+        elif other._num_rows == 0:
+            for attribute in right_only:
+                arrays[attribute.name] = np.full(self._num_rows, None, dtype=object)
+        else:
+            gather = np.where(matched, positions, 0)
+            matched_list = matched.tolist()
+            for attribute in right_only:
+                taken = _column_to_list(other._columns[attribute.name][gather])
+                arrays[attribute.name] = _as_column_array(
+                    [
+                        value if hit else None
+                        for value, hit in zip(taken, matched_list)
+                    ]
+                )
+        return Table._from_arrays(joined_schema, arrays, self._num_rows)
 
     def concat(self, other: "Table") -> "Table":
         """Vertical concatenation of two tables with identical schemas."""
         if self._schema.names != other._schema.names:
             raise TableError("cannot concatenate tables with different schemas")
-        columns = {
-            name: self._columns[name] + other._columns[name] for name in self._schema.names
-        }
-        return Table(self._schema, columns)
+        arrays: dict[str, np.ndarray] = {}
+        for name in self._schema.names:
+            left, right = self._columns[name], other._columns[name]
+            if left.dtype == right.dtype and left.dtype != object:
+                arrays[name] = np.concatenate([left, right])
+            else:
+                arrays[name] = _as_column_array(
+                    _column_to_list(left) + _column_to_list(right)
+                )
+        return Table._from_arrays(
+            self._schema, arrays, self._num_rows + other._num_rows
+        )
 
     def numeric_columns(self, names: Sequence[str]) -> dict[str, np.ndarray]:
         """Several columns as ``(rows,)`` float arrays, resolving generalized cells.
@@ -290,7 +501,7 @@ class Table:
         names = self._schema.numeric_quasi_identifiers
         if not names:
             raise SchemaError("table has no numeric quasi-identifier columns")
-        return np.column_stack([self.numeric_column(name) for name in names])
+        return np.column_stack([self._numeric_view(name) for name in names])
 
     def sensitive_vector(self) -> np.ndarray:
         """The (single) sensitive column as a float vector."""
@@ -319,9 +530,11 @@ class Table:
         """ASCII rendering of the table (used by the experiment harness)."""
         names = list(self._schema.names)
         limit = self._num_rows if max_rows is None else min(max_rows, self._num_rows)
-        rendered_rows = [
-            [value_to_text(self._columns[name][i]) for name in names] for i in range(limit)
+        columns = [
+            [value_to_text(value) for value in _column_to_list(self.column_array(name)[:limit])]
+            for name in names
         ]
+        rendered_rows = [list(row) for row in zip(*columns)] if columns else []
         widths = [
             max(len(name), *(len(row[j]) for row in rendered_rows)) if rendered_rows else len(name)
             for j, name in enumerate(names)
@@ -338,3 +551,22 @@ class Table:
     def to_records(self) -> list[dict[str, object]]:
         """All rows as dicts; alias of :meth:`rows` for IO symmetry."""
         return self.rows()
+
+
+def _numeric_view_of_objects(array: np.ndarray) -> np.ndarray:
+    """Float view of an object column via :func:`numeric_representative`.
+
+    Release columns repeat the same generalized cell object across every row
+    of an equivalence class, so the representative of each *distinct object*
+    is computed once and fanned out by identity.
+    """
+    out = np.empty(array.shape[0], dtype=np.float64)
+    memo: dict[int, float] = {}
+    for i, value in enumerate(array):
+        key = id(value)
+        representative = memo.get(key)
+        if representative is None:
+            representative = numeric_representative(value)
+            memo[key] = representative
+        out[i] = representative
+    return out

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Mapping
 
+from repro.dataset.generalization import value_to_text
 from repro.experiments.figures import FigureResult, SweepData
 from repro.experiments.tables import TableResult
 
@@ -32,14 +33,21 @@ def figure_to_markdown(figure: FigureResult) -> str:
 
 
 def table_to_markdown(result: TableResult) -> str:
-    """One paper table as a Markdown section."""
+    """One paper table as a Markdown section.
+
+    Cells are rendered column-wise through
+    :func:`~repro.dataset.generalization.value_to_text`, so integer-valued
+    floats and generalized cells (``[5-10]``, ``*``) appear exactly as in the
+    paper-style text tables.
+    """
     table = result.table
     names = list(table.schema.names)
     lines = [f"### {result.table_id.capitalize()}: {result.title}", ""]
     lines.append("| " + " | ".join(names) + " |")
     lines.append("|" + "---|" * len(names))
-    for row in table.rows():
-        lines.append("| " + " | ".join(str(row[name]) for name in names) + " |")
+    columns = [[value_to_text(v) for v in table.column(name)] for name in names]
+    for row in zip(*columns):
+        lines.append("| " + " | ".join(row) + " |")
     lines.append("")
     return "\n".join(lines)
 

@@ -14,7 +14,7 @@ induction module express the knowledge base.  Each rule carries a weight in
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 import numpy as np

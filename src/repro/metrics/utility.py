@@ -38,24 +38,19 @@ __all__ = [
 
 
 def discernibility_cost(class_sizes: Sequence[int], total_records: int, k: int) -> float:
-    """``C_DM``: the discernibility cost of a partition."""
+    """``C_DM``: the discernibility cost of a partition (vectorized over classes)."""
     if total_records <= 0:
         raise MetricError("total_records must be positive")
     if k < 1:
         raise MetricError("k must be >= 1")
-    if sum(class_sizes) != total_records:
+    sizes = np.asarray(class_sizes, dtype=float)
+    if int(sizes.sum()) != total_records:
         raise MetricError(
-            f"class sizes sum to {sum(class_sizes)}, expected {total_records}"
+            f"class sizes sum to {int(sizes.sum())}, expected {total_records}"
         )
-    cost = 0.0
-    for size in class_sizes:
-        if size <= 0:
-            raise MetricError("equivalence class sizes must be positive")
-        if size >= k:
-            cost += float(size) ** 2
-        else:
-            cost += float(total_records) * float(size)
-    return cost
+    if sizes.size and (sizes <= 0).any():
+        raise MetricError("equivalence class sizes must be positive")
+    return float(np.sum(np.where(sizes >= k, sizes**2, float(total_records) * sizes)))
 
 
 def discernibility_utility(class_sizes: Sequence[int], total_records: int, k: int) -> float:
@@ -66,15 +61,25 @@ def discernibility_utility(class_sizes: Sequence[int], total_records: int, k: in
 def per_record_costs(
     classes: Sequence[EquivalenceClass], total_records: int, k: int
 ) -> np.ndarray:
-    """Per-record discernibility cost ``C_i`` (Section VI.C)."""
+    """Per-record discernibility cost ``C_i`` (Section VI.C).
+
+    The cost vector is assembled from class-size vectors: one cost per class,
+    repeated over the class sizes and scattered to the member rows with a
+    single fancy-index assignment.
+    """
     costs = np.zeros(total_records, dtype=float)
-    for equivalence_class in classes:
-        size = equivalence_class.size
-        cost = float(size) ** 2 if size >= k else float(total_records) * float(size)
-        for index in equivalence_class.indices:
-            if not 0 <= index < total_records:
-                raise MetricError(f"class references row {index} outside the table")
-            costs[index] = cost
+    if classes:
+        sizes = np.fromiter((c.size for c in classes), dtype=float, count=len(classes))
+        class_costs = np.where(sizes >= k, sizes**2, float(total_records) * sizes)
+        members = np.fromiter(
+            (index for c in classes for index in c.indices),
+            dtype=np.intp,
+            count=int(sizes.sum()),
+        )
+        if members.size and ((members < 0) | (members >= total_records)).any():
+            offender = int(members[(members < 0) | (members >= total_records)][0])
+            raise MetricError(f"class references row {offender} outside the table")
+        costs[members] = np.repeat(class_costs, sizes.astype(np.intp))
     if (costs == 0).any():
         raise MetricError("equivalence classes do not cover every record")
     return costs
@@ -117,13 +122,25 @@ def generalized_information_loss(original: Table, release: Table) -> float:
         column_range = float(column.max() - column.min())
         if column_range <= 0:
             column_range = 1.0
-        for i in range(release.num_rows):
-            value = release.cell(i, name)
-            if isinstance(value, Interval):
-                total += value.width / column_range
-            elif isinstance(value, Suppressed):
-                total += 1.0
-            cells += 1
+        array = release.column_array(name)
+        cells += release.num_rows
+        if array.dtype != object:
+            continue  # exact numeric cells carry no loss
+        # Release columns share one generalized object per equivalence class,
+        # so the per-cell loss is resolved once per distinct object.
+        memo: dict[int, float] = {}
+        for value in array:
+            key = id(value)
+            loss = memo.get(key)
+            if loss is None:
+                if isinstance(value, Interval):
+                    loss = value.width / column_range
+                elif isinstance(value, Suppressed):
+                    loss = 1.0
+                else:
+                    loss = 0.0
+                memo[key] = loss
+            total += loss
     return total / cells
 
 

@@ -15,7 +15,7 @@ from repro.data.customers import (
 )
 from repro.data.faculty import FacultyConfig, generate_faculty
 from repro.data.names import generate_names
-from repro.data.webgen import corpus_for_census, corpus_for_customers, corpus_for_faculty
+from repro.data.webgen import corpus_for_census, corpus_for_customers
 from repro.exceptions import ReproError
 from repro.metrics.privacy import rank_correlation
 
@@ -33,10 +33,18 @@ class TestNames:
 
     def test_capacity_and_validation(self):
         with pytest.raises(ReproError):
-            generate_names(10_000)
+            generate_names(100_000)  # beyond the middle-initial-extended space
         with pytest.raises(ReproError):
             generate_names(-1)
         assert generate_names(0) == []
+
+    def test_extended_capacity_stays_unique_and_compatible(self):
+        # Counts beyond the plain First-Last space extend with middle
+        # initials; the base prefix is unchanged for a given seed.
+        names = generate_names(10_000, seed=3)
+        assert len(set(names)) == 10_000
+        assert names[:2_500] == generate_names(2_500, seed=3)
+        assert all(len(name.split()) == 3 for name in names[2_500:])
 
 
 class TestPaperExamples:

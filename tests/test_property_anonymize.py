@@ -6,6 +6,8 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.anonymize.clustering import GreedyClusterAnonymizer
+from repro.anonymize.datafly import DataflyAnonymizer
 from repro.anonymize.kanonymity import anonymity_level, is_k_anonymous
 from repro.anonymize.mdav import MDAVAnonymizer, _mdav_groups
 from repro.anonymize.mondrian import MondrianAnonymizer
@@ -83,6 +85,64 @@ class TestMondrianProperties:
         result = MondrianAnonymizer().anonymize(table, k)
         assert result.minimum_class_size >= k
         assert sum(result.class_sizes) == table.num_rows
+
+
+def _assert_valid_partition(result, table, k, suppression_exempt=()):
+    """The invariants every partitioning anonymizer must satisfy.
+
+    Classes are pairwise disjoint, cover every row exactly once, and each
+    class has at least ``k`` members — except classes holding suppressed rows
+    (Datafly), which may be smaller.
+    """
+    covered = [i for c in result.classes for i in c.indices]
+    assert sorted(covered) == list(range(table.num_rows))  # disjoint + covering
+    exempt = set(suppression_exempt)
+    for equivalence_class in result.classes:
+        if set(equivalence_class.indices) & exempt:
+            continue
+        assert equivalence_class.size >= k
+
+
+class TestCrossAnonymizerInvariants:
+    """Partition invariants pinned across all four partitioning schemes."""
+
+    @given(row_strategy, st.integers(min_value=2, max_value=4))
+    @settings(max_examples=25, deadline=None)
+    def test_mdav_partition_invariants(self, rows, k):
+        table = _random_table(rows)
+        if k > table.num_rows:
+            return
+        result = MDAVAnonymizer().anonymize(table, k)
+        _assert_valid_partition(result, table, k)
+        # MDAV's fixed-size grouping additionally bounds classes above.
+        assert max(result.class_sizes) <= 2 * k - 1
+
+    @given(row_strategy, st.integers(min_value=2, max_value=4))
+    @settings(max_examples=25, deadline=None)
+    def test_mondrian_partition_invariants(self, rows, k):
+        table = _random_table(rows)
+        if k > table.num_rows:
+            return
+        result = MondrianAnonymizer().anonymize(table, k)
+        _assert_valid_partition(result, table, k)
+
+    @given(row_strategy, st.integers(min_value=2, max_value=4))
+    @settings(max_examples=25, deadline=None)
+    def test_clustering_partition_invariants(self, rows, k):
+        table = _random_table(rows)
+        if k > table.num_rows:
+            return
+        result = GreedyClusterAnonymizer().anonymize(table, k)
+        _assert_valid_partition(result, table, k)
+
+    @given(row_strategy, st.integers(min_value=2, max_value=3))
+    @settings(max_examples=15, deadline=None)
+    def test_datafly_partition_invariants(self, rows, k):
+        table = _random_table(rows)
+        if k > table.num_rows:
+            return
+        result = DataflyAnonymizer(max_suppression_fraction=1.0).anonymize(table, k)
+        _assert_valid_partition(result, table, k, suppression_exempt=result.suppressed)
 
 
 class TestMetricProperties:

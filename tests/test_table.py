@@ -78,6 +78,37 @@ class TestConstruction:
         assert simple_table == same
         assert simple_table != 5
 
+    def test_equality_with_nan_cells(self, simple_table):
+        # Regression: float("nan") != float("nan") used to make identical
+        # tables with missing numeric cells compare unequal.
+        with_nan = simple_table.replace_column(
+            "salary", [52_000.0, float("nan"), 70_000.0, 83_000.0, float("nan"), 104_000.0]
+        )
+        again = simple_table.replace_column(
+            "salary", [52_000.0, float("nan"), 70_000.0, 83_000.0, float("nan"), 104_000.0]
+        )
+        assert with_nan == again
+        assert with_nan != simple_table
+
+    def test_equality_with_nan_in_object_column(self, simple_table):
+        # NaN-aware equality must also hold for object-dtype columns (a NaN
+        # cell alongside generalized / None cells).
+        mixed = [float("nan"), None, 37, 44, 52, 58]
+        left = simple_table.replace_column("age", list(mixed))
+        right = simple_table.replace_column("age", list(mixed))
+        assert left == right
+        assert left != simple_table.replace_column("age", [1, None, 37, 44, 52, 58])
+
+    def test_storage_dtypes(self, simple_table):
+        assert simple_table.column_array("age").dtype == np.int64
+        assert simple_table.column_array("salary").dtype == np.float64
+        assert simple_table.column_array("name").dtype == object
+
+    def test_int_columns_round_trip_as_python_ints(self, simple_table):
+        ages = simple_table.column("age")
+        assert all(type(v) is int for v in ages)
+        assert type(simple_table.cell(0, "age")) is int
+
 
 class TestAccess:
     def test_row_and_cell(self, simple_table):
@@ -131,6 +162,40 @@ class TestRelationalOperations:
         by_salary = simple_table.sort_by("salary", reverse=True)
         salaries = [r["salary"] for r in by_salary.rows()]
         assert salaries == sorted(salaries, reverse=True)
+
+    def test_sort_by_mixed_column_with_none_and_generalized_cells(self, simple_table):
+        # Regression: sorting a column holding None / Interval / SUPPRESSED
+        # cells used to raise TypeError; the sort key now falls back to the
+        # numeric representative, with unresolvable cells last.
+        mixed = simple_table.replace_column(
+            "age", [Interval(40, 50), 31, None, 25, SUPPRESSED, Interval(20, 30)]
+        )
+        by_age = mixed.sort_by("age")
+        assert by_age.column("age") == [
+            25,
+            Interval(20, 30),
+            31,
+            Interval(40, 50),
+            None,
+            SUPPRESSED,
+        ]
+        # Unresolvable cells stay last when the order is reversed.
+        descending = mixed.sort_by("age", reverse=True)
+        assert descending.column("age") == [
+            Interval(40, 50),
+            31,
+            25,  # ties with Interval(20, 30) keep their original order
+            Interval(20, 30),
+            None,
+            SUPPRESSED,
+        ]
+
+    def test_sort_by_mixed_column_is_stable(self, simple_table):
+        mixed = simple_table.replace_column("age", [None, 25, SUPPRESSED, 25.0, None, 25])
+        by_age = mixed.sort_by("age")
+        # Ties (the three 25-valued cells) and unresolvable cells keep their
+        # original relative order; unresolvables sort last.
+        assert by_age.column("age") == [25, 25.0, 25, None, SUPPRESSED, None]
 
     def test_with_column(self, simple_table):
         extended = simple_table.with_column(
@@ -188,6 +253,19 @@ class TestRelationalOperations:
         joined = simple_table.join(extra, on="name", how="left")
         assert joined.num_rows == 6
         assert joined.column("pets").count(None) == 5
+
+    def test_left_join_with_empty_right_table(self, simple_table):
+        extra_schema = Schema(
+            [
+                Attribute("name", AttributeRole.IDENTIFIER, AttributeKind.TEXT),
+                Attribute("pets", AttributeRole.INSENSITIVE),
+            ]
+        )
+        empty = Table.from_rows(extra_schema, [])
+        joined = simple_table.join(empty, on="name", how="left")
+        assert joined.num_rows == 6
+        assert joined.column("pets") == [None] * 6
+        assert simple_table.join(empty, on="name", how="inner").num_rows == 0
 
     def test_join_validations(self, simple_table):
         extra_schema = Schema(
