@@ -1,0 +1,149 @@
+"""Benchmark: serving-tier latency and throughput gates.
+
+Two acceptance gates lock in the value of the release cache:
+
+* ``test_cached_release_is_50x_faster_than_first_compute`` — the first
+  request for a release pays the full anonymize + render cost; every
+  subsequent identical request must be served from the fingerprint-keyed
+  cache at least **50x** faster (10x in ``REPRO_BENCH_QUICK=1`` CI mode,
+  where the small dataset makes the first compute cheap), measured end to
+  end over HTTP including connection setup.
+* ``test_concurrent_cached_throughput`` — 8 parallel HTTP clients hammering
+  cached releases must sustain a floor of requests/second and receive
+  byte-identical bodies.
+
+A plain ``benchmark`` target records the cached-request latency for the
+pytest-benchmark report.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.data.census import CensusConfig, generate_census
+from repro.dataset.io import render_csv
+from repro.service import AnonymizationService, build_server
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+RECORD_COUNT = 1_500 if QUICK else 8_000
+K = 10 if QUICK else 25
+REQUIRED_SPEEDUP = 10.0 if QUICK else 50.0
+CLIENTS = 8
+REQUESTS_PER_CLIENT = 5 if QUICK else 12
+REQUIRED_THROUGHPUT = 40.0  # cached requests/second across all clients
+
+
+@pytest.fixture(scope="module")
+def service_setup():
+    """A running HTTP service with the census table registered."""
+    census = generate_census(CensusConfig(count=RECORD_COUNT, seed=11)).private
+    service = AnonymizationService(cache_capacity=32)
+    server = build_server(port=0, service=service).serve_in_background()
+    base = f"http://127.0.0.1:{server.port}"
+    request = urllib.request.Request(
+        f"{base}/datasets",
+        data=render_csv(census).encode(),
+        headers={"Content-Type": "text/csv"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=120) as response:
+        fingerprint = json.loads(response.read())["fingerprint"]
+    yield base, fingerprint, service
+    server.close()
+
+
+def _release_request(base: str, fingerprint: str, k: int) -> urllib.request.Request:
+    return urllib.request.Request(
+        f"{base}/release",
+        data=json.dumps({"dataset": fingerprint, "k": k}).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+
+
+def _timed_release(base: str, fingerprint: str, k: int) -> tuple[float, bytes]:
+    start = time.perf_counter()
+    with urllib.request.urlopen(_release_request(base, fingerprint, k), timeout=600) as r:
+        body = r.read()
+    return time.perf_counter() - start, body
+
+
+def test_cached_release_is_50x_faster_than_first_compute(service_setup):
+    """Acceptance gate: cached releases are >= 50x the first compute (10x quick)."""
+    base, fingerprint, service = service_setup
+    first_seconds, first_body = _timed_release(base, fingerprint, K)
+    assert service.stats()["cache"]["computations"] >= 1
+
+    cached_seconds = float("inf")
+    for _ in range(7):
+        seconds, body = _timed_release(base, fingerprint, K)
+        assert body == first_body, "cached responses must be byte-identical"
+        cached_seconds = min(cached_seconds, seconds)
+
+    speedup = first_seconds / cached_seconds
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"cached release is only {speedup:.1f}x the first compute on "
+        f"{RECORD_COUNT} records at k={K} (required {REQUIRED_SPEEDUP:.0f}x): "
+        f"first {first_seconds:.3f}s vs cached {cached_seconds:.4f}s"
+    )
+
+
+def test_concurrent_cached_throughput(service_setup):
+    """8 parallel clients sustain the cached-request throughput floor."""
+    base, fingerprint, service = service_setup
+    # Ensure the artifact is computed before the measured window.
+    _, reference = _timed_release(base, fingerprint, K)
+    computations_before = service.stats()["cache"]["computations"]
+
+    barrier = threading.Barrier(CLIENTS)
+    bodies: list[bytes] = []
+    lock = threading.Lock()
+
+    def client(_):
+        barrier.wait(timeout=60)
+        for _ in range(REQUESTS_PER_CLIENT):
+            with urllib.request.urlopen(
+                _release_request(base, fingerprint, K), timeout=600
+            ) as response:
+                body = response.read()
+            with lock:
+                bodies.append(body)
+
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=CLIENTS) as pool:
+        list(pool.map(client, range(CLIENTS)))
+    elapsed = time.perf_counter() - start
+
+    total_requests = CLIENTS * REQUESTS_PER_CLIENT
+    assert len(bodies) == total_requests
+    assert set(bodies) == {reference}, "every client must see identical bytes"
+    assert service.stats()["cache"]["computations"] == computations_before, (
+        "cached load must not trigger any recomputation"
+    )
+    throughput = total_requests / elapsed
+    assert throughput >= REQUIRED_THROUGHPUT, (
+        f"cached throughput {throughput:.0f} req/s below the "
+        f"{REQUIRED_THROUGHPUT:.0f} req/s floor ({total_requests} requests in {elapsed:.2f}s)"
+    )
+
+
+def test_cached_release_latency(benchmark, service_setup):
+    """pytest-benchmark record of end-to-end cached release latency."""
+    base, fingerprint, service = service_setup
+    _timed_release(base, fingerprint, K)  # warm the cache
+
+    def fetch():
+        with urllib.request.urlopen(_release_request(base, fingerprint, K), timeout=600) as r:
+            return r.read()
+
+    body = benchmark.pedantic(fetch, rounds=10, iterations=1)
+    assert body
+    benchmark.extra_info["records"] = RECORD_COUNT
+    benchmark.extra_info["requests_per_second"] = round(1.0 / benchmark.stats.stats.mean)

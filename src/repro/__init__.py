@@ -17,7 +17,9 @@ The package provides:
 * :mod:`repro.core` — the FRED (Fusion Resilient Enterprise Data) optimizer;
 * :mod:`repro.data` — synthetic dataset and web-profile generators;
 * :mod:`repro.experiments` — runners regenerating every table and figure of
-  the paper's evaluation.
+  the paper's evaluation;
+* :mod:`repro.service` — the serving tier: a long-lived anonymization service
+  with fingerprint-keyed release/result caching and asynchronous FRED jobs.
 
 Quickstart
 ----------
@@ -73,7 +75,9 @@ from repro.metrics import (
     mean_square_dissimilarity,
 )
 
-__version__ = "1.0.0"
+from repro.service import AnonymizationService, TwoTierCache, build_server
+
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -125,4 +129,8 @@ __all__ = [
     "corpus_for_faculty",
     "corpus_for_customers",
     "corpus_for_census",
+    # service
+    "AnonymizationService",
+    "TwoTierCache",
+    "build_server",
 ]

@@ -12,7 +12,10 @@ header lines: column names, then ``role:kind`` declarations):
   per-record sensitive-attribute estimates;
 * ``repro fred``       — run the FRED sweep on a private table plus auxiliary
   CSV and report the selected anonymization level (optionally writing the
-  chosen release).
+  chosen release);
+* ``repro serve``      — run the long-lived anonymization service: a threaded
+  JSON/HTTP server with dataset registration, fingerprint-keyed release and
+  attack caching, and asynchronous FRED jobs (see :mod:`repro.service`).
 
 Example
 -------
@@ -23,6 +26,7 @@ Example
         --sensitive-low 40000 --sensitive-high 160000 --output estimates.csv
     python -m repro.cli fred --input private.csv --auxiliary web.csv \
         --kmin 2 --kmax 16 --output fused_release.csv
+    python -m repro.cli serve --port 8080 --cache-dir /tmp/repro-cache
 """
 
 from __future__ import annotations
@@ -109,6 +113,32 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="number of anonymization levels to evaluate concurrently",
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the anonymization service (threaded JSON/HTTP server with "
+        "dataset registration, release/attack caching and async FRED jobs)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8080, help="bind port (0 picks a free one)")
+    serve.add_argument(
+        "--cache-size", type=int, default=128,
+        help="in-memory LRU entry budget of the release/result cache",
+    )
+    serve.add_argument(
+        "--cache-dir", type=Path, default=None,
+        help="optional on-disk spill directory for cached artifacts",
+    )
+    serve.add_argument(
+        "--job-workers", type=int, default=2, help="worker threads for async FRED jobs"
+    )
+    serve.add_argument(
+        "--fred-parallelism", type=int, default=1,
+        help="default per-sweep level parallelism for FRED jobs",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request to stderr"
     )
     return parser
 
@@ -226,10 +256,37 @@ def _command_fred(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(arguments: argparse.Namespace) -> int:
+    from repro.service import AnonymizationService, build_server
+
+    service = AnonymizationService(
+        cache_capacity=arguments.cache_size,
+        cache_dir=arguments.cache_dir,
+        job_workers=arguments.job_workers,
+        fred_parallelism=arguments.fred_parallelism,
+    )
+    server = build_server(
+        host=arguments.host,
+        port=arguments.port,
+        service=service,
+        verbose=arguments.verbose,
+    )
+    print(f"serving on http://{arguments.host}:{server.port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down (draining in-flight jobs)", flush=True)
+    finally:
+        server.server_close()
+        service.close(wait=True)
+    return 0
+
+
 _COMMANDS = {
     "anonymize": _command_anonymize,
     "attack": _command_attack,
     "fred": _command_fred,
+    "serve": _command_serve,
 }
 
 

@@ -145,6 +145,27 @@ class LevelOutcome:
         """Whether the level satisfies both thresholds."""
         return self.meets_protection and self.meets_utility
 
+    def to_dict(self) -> dict[str, object]:
+        """A JSON-able view of the level's measurements (no table payloads).
+
+        This is what the anonymization service returns from a finished FRED
+        job: everything a client needs to plot the sweep or pick a level,
+        without serializing the per-level release tables.
+        """
+        return {
+            "level": self.level,
+            "protection_before": float(self.protection_before),
+            "protection_after": float(self.protection_after),
+            "information_gain": float(self.information_gain),
+            "utility": float(self.utility),
+            "match_rate": float(self.attack.match_rate),
+            "classes": len(self.anonymization.classes),
+            "minimum_class_size": int(self.anonymization.minimum_class_size),
+            "meets_protection": bool(self.meets_protection),
+            "meets_utility": bool(self.meets_utility),
+            "feasible": bool(self.feasible),
+        }
+
 
 @dataclass
 class FREDResult:
@@ -188,6 +209,15 @@ class FREDResult:
         ):
             raise FREDConfigurationError(f"unknown series {name!r}")
         return [getattr(outcome, name) for outcome in self.outcomes]
+
+    def to_dict(self) -> dict[str, object]:
+        """A JSON-able view of the whole sweep (per-level metrics + optimum)."""
+        return {
+            "optimal_level": self.optimal_level,
+            "feasible_levels": self.feasible_levels(),
+            "scores": {str(o.level): float(self.scores[o.level]) for o in self.outcomes},
+            "levels": [o.to_dict() for o in self.outcomes],
+        }
 
     def summary(self) -> str:
         """Multi-line text report of the sweep (one row per level)."""

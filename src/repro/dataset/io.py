@@ -1,35 +1,81 @@
-"""CSV persistence for :class:`~repro.dataset.table.Table`.
+"""CSV / JSONL persistence for :class:`~repro.dataset.table.Table`.
 
-The file format is ordinary CSV with a two-line header: the first line holds
-the column names, the second line holds ``role:kind`` declarations so that a
-round-tripped file reconstructs the same schema.  Generalized cells are
-rendered with the paper's textual syntax (``[5-10]``, ``*``) and parsed back.
+Two formats round-trip a table with its schema:
+
+* **CSV** — ordinary CSV with a two-line header: the first line holds the
+  column names, the second line holds ``role:kind`` declarations so that a
+  round-tripped file reconstructs the same schema.  Generalized cells are
+  rendered with the paper's textual syntax (``[5-10]``, ``*``) and parsed
+  back.
+* **JSONL** — one JSON object per line, preceded by a schema line
+  (``{"schema": [...]}``).  Generalized cells are tagged objects
+  (``{"interval": [low, high]}``, ``{"categories": [...]}``,
+  ``{"suppressed": true}``), so text cells that happen to look like
+  generalized syntax survive unambiguously.
+
+Streaming ingest
+----------------
+Both readers are built on *streaming* parsers (:func:`stream_csv`,
+:func:`stream_jsonl`) that consume any iterable of text lines — a file
+handle, an HTTP request body decoded chunk by chunk — and assemble the table
+in fixed-size column chunks (``chunk_rows`` at a time, each chunk coerced to
+its typed array and concatenated at the end).  Registration in the
+anonymization service feeds these parsers directly from the socket, so a
+dataset larger than any single request buffer never has to exist as one
+Python string.  ``read_csv(path)`` / ``read_jsonl(path)`` are thin wrappers
+over the same code path, which is what makes the chunked and in-memory
+results identical by construction (and property-tested to stay that way).
 """
 
 from __future__ import annotations
 
 import csv
+import io as _io
+import json
+import math
 import re
 from pathlib import Path
+from typing import Iterable, Iterator
 
-from repro.dataset.generalization import SUPPRESSED, CategorySet, Interval
+import numpy as np
+
+from repro.dataset.generalization import SUPPRESSED, CategorySet, Interval, Suppressed
 from repro.dataset.schema import Attribute, AttributeKind, AttributeRole, Schema
-from repro.dataset.table import Table
+from repro.dataset.table import Table, _as_column_array
 from repro.exceptions import TableError
 
-__all__ = ["write_csv", "read_csv", "parse_cell", "render_cell"]
+__all__ = [
+    "write_csv",
+    "read_csv",
+    "render_csv",
+    "stream_csv",
+    "write_jsonl",
+    "read_jsonl",
+    "render_jsonl",
+    "stream_jsonl",
+    "parse_cell",
+    "render_cell",
+]
 
 _INTERVAL_RE = re.compile(r"^\[(?P<low>-?\d+(?:\.\d+)?)-(?P<high>-?\d+(?:\.\d+)?)\]$")
 _CATEGORY_RE = re.compile(r"^\{(?P<members>.+)\}$")
 _NUMBER_RE = re.compile(r"^-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?$")
+
+#: Rows accumulated per column chunk before coercion to a typed array.
+DEFAULT_CHUNK_ROWS = 4096
 
 
 def render_cell(value: object) -> str:
     """Render a single cell to its CSV text form."""
     if value is None:
         return ""
-    if isinstance(value, float) and value.is_integer():
-        return str(int(value))
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        if value.is_integer():
+            return str(int(value))
     return str(value)
 
 
@@ -47,65 +93,307 @@ def parse_cell(text: str, kind: AttributeKind) -> object:
     if category_match:
         members = [m.strip() for m in category_match.group("members").split(",")]
         return CategorySet(members)
-    if kind is AttributeKind.NUMERIC and _NUMBER_RE.match(text):
-        value = float(text)
-        return int(value) if value.is_integer() else value
+    if kind is AttributeKind.NUMERIC:
+        if _NUMBER_RE.match(text):
+            value = float(text)
+            return int(value) if value.is_integer() else value
+        lowered = text.lower()
+        if lowered == "nan":
+            return float("nan")
+        if lowered in ("inf", "+inf", "infinity", "+infinity"):
+            return float("inf")
+        if lowered in ("-inf", "-infinity"):
+            return float("-inf")
     return text
 
 
+# --------------------------------------------------------------------------
+# Shared schema-header handling and chunked column assembly.
+# --------------------------------------------------------------------------
+
+
+def _schema_from_declarations(
+    names: list[str], declarations: list[str], source: str
+) -> Schema:
+    if len(declarations) != len(names):
+        raise TableError(
+            f"CSV header mismatch in {source}: {len(names)} names, "
+            f"{len(declarations)} declarations"
+        )
+    attributes = []
+    for name, declaration in zip(names, declarations):
+        try:
+            role_text, kind_text = declaration.split(":")
+            attributes.append(
+                Attribute(name, AttributeRole(role_text), AttributeKind(kind_text))
+            )
+        except ValueError as exc:
+            raise TableError(
+                f"invalid role:kind declaration {declaration!r} for column {name!r}"
+            ) from exc
+    return Schema(attributes)
+
+
+class _ChunkedColumns:
+    """Assemble columns from streamed rows, ``chunk_rows`` rows at a time.
+
+    Each full chunk is coerced to its typed storage array immediately, so the
+    per-cell Python values of a large ingest are released as parsing
+    proceeds; :meth:`finish` concatenates the typed chunks (or falls back to
+    an object rebuild when chunk dtypes disagree, which reproduces exactly
+    what a single whole-column coercion would have produced).
+    """
+
+    def __init__(self, names: list[str], chunk_rows: int) -> None:
+        if chunk_rows < 1:
+            raise TableError(f"chunk_rows must be >= 1, got {chunk_rows}")
+        self._names = names
+        self._chunk_rows = chunk_rows
+        self._pending: dict[str, list[object]] = {name: [] for name in names}
+        self._chunks: dict[str, list[np.ndarray]] = {name: [] for name in names}
+        self._pending_rows = 0
+
+    def append_row(self, values: Iterable[object]) -> None:
+        for name, value in zip(self._names, values):
+            self._pending[name].append(value)
+        self._pending_rows += 1
+        if self._pending_rows >= self._chunk_rows:
+            self._flush()
+
+    def _flush(self) -> None:
+        if not self._pending_rows:
+            return
+        for name in self._names:
+            self._chunks[name].append(_as_column_array(self._pending[name]))
+            self._pending[name] = []
+        self._pending_rows = 0
+
+    def finish(self, schema: Schema) -> Table:
+        self._flush()
+        arrays: dict[str, np.ndarray] = {}
+        num_rows = 0
+        for name in self._names:
+            chunks = self._chunks[name]
+            if not chunks:
+                array = _as_column_array([])
+            elif len(chunks) == 1:
+                array = chunks[0]
+            elif all(chunk.dtype.kind in "iuf" for chunk in chunks):
+                array = np.concatenate(chunks)
+            else:
+                values: list[object] = []
+                for chunk in chunks:
+                    values.extend(
+                        chunk.tolist() if chunk.dtype != object else list(chunk)
+                    )
+                array = _as_column_array(values)
+            arrays[name] = array
+            num_rows = array.shape[0]
+        return Table._from_arrays(schema, arrays, num_rows)
+
+
+# --------------------------------------------------------------------------
+# CSV.
+# --------------------------------------------------------------------------
+
+
+def _write_csv_to(handle, table: Table) -> None:
+    """Stream ``table`` as CSV rows into an open text handle."""
+    writer = csv.writer(handle)
+    writer.writerow(table.schema.names)
+    writer.writerow(
+        [f"{attr.role.value}:{attr.kind.value}" for attr in table.schema.attributes]
+    )
+    for row in table.rows():
+        writer.writerow([render_cell(row[name]) for name in table.schema.names])
+
+
+def render_csv(table: Table) -> str:
+    """Render ``table`` to CSV text (exactly the bytes :func:`write_csv` writes).
+
+    The anonymization service uses this to serve releases: rendering once and
+    caching the text guarantees every client of a cached release receives
+    byte-identical output.
+    """
+    buffer = _io.StringIO()
+    _write_csv_to(buffer, table)
+    return buffer.getvalue()
+
+
 def write_csv(table: Table, path: str | Path) -> Path:
-    """Write ``table`` to ``path`` and return the path."""
+    """Write ``table`` to ``path`` and return the path (rows are streamed)."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with path.open("w", newline="", encoding="utf-8") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(table.schema.names)
-        writer.writerow(
-            [f"{attr.role.value}:{attr.kind.value}" for attr in table.schema.attributes]
-        )
-        for row in table.rows():
-            writer.writerow([render_cell(row[name]) for name in table.schema.names])
+        _write_csv_to(handle, table)
     return path
 
 
-def read_csv(path: str | Path) -> Table:
+def stream_csv(
+    lines: Iterable[str],
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    source: str = "<stream>",
+) -> Table:
+    """Parse CSV text arriving as an iterable of lines into a table.
+
+    ``lines`` may be a file handle (opened with ``newline=""``) or any
+    iterator of decoded text pieces — quoted delimiters and quoted embedded
+    newlines are handled by the ``csv`` machinery even when a quoted field
+    spans pieces.  Rows are assembled in ``chunk_rows``-sized column chunks;
+    the result is identical to parsing the whole document in memory.
+
+    Raises :class:`~repro.exceptions.TableError` for an empty document or a
+    document whose two header lines are missing or inconsistent; a
+    header-only document yields an empty (zero-row) table, and a trailing
+    newline does not produce a phantom row.
+    """
+    reader = csv.reader(iter(lines))
+    try:
+        names = next(reader)
+        declarations = next(reader)
+    except StopIteration as exc:
+        raise TableError(f"CSV document {source} is missing its two header lines") from exc
+    schema = _schema_from_declarations(names, declarations, source)
+    kinds = [schema[name].kind for name in names]
+    columns = _ChunkedColumns(list(names), chunk_rows)
+    for row in reader:
+        if not row:  # blank line (e.g. the one implied by a trailing newline)
+            continue
+        if len(row) != len(names):
+            raise TableError(
+                f"line {reader.line_num} of {source} has {len(row)} cells, "
+                f"expected {len(names)}"
+            )
+        columns.append_row(
+            parse_cell(cell, kind) for cell, kind in zip(row, kinds)
+        )
+    return columns.finish(schema)
+
+
+def read_csv(path: str | Path, chunk_rows: int = DEFAULT_CHUNK_ROWS) -> Table:
     """Read a table previously written by :func:`write_csv`."""
     path = Path(path)
     with path.open("r", newline="", encoding="utf-8") as handle:
-        reader = csv.reader(handle)
+        return stream_csv(handle, chunk_rows=chunk_rows, source=str(path))
+
+
+# --------------------------------------------------------------------------
+# JSONL.
+# --------------------------------------------------------------------------
+
+
+def _cell_to_json(value: object) -> object:
+    if isinstance(value, Interval):
+        return {"interval": [value.low, value.high]}
+    if isinstance(value, CategorySet):
+        return {"categories": list(value.members), "label": value.label}
+    if isinstance(value, Suppressed):
+        return {"suppressed": True}
+    return value
+
+
+def _cell_from_json(value: object) -> object:
+    if isinstance(value, dict):
         try:
-            names = next(reader)
-            declarations = next(reader)
-        except StopIteration as exc:
-            raise TableError(f"CSV file {path} is missing its two header lines") from exc
-        if len(declarations) != len(names):
-            raise TableError(
-                f"CSV header mismatch in {path}: {len(names)} names, {len(declarations)} declarations"
-            )
-        attributes = []
-        for name, declaration in zip(names, declarations):
+            if "interval" in value:
+                low, high = value["interval"]
+                return Interval(float(low), float(high))
+            if "categories" in value:
+                return CategorySet(value["categories"], label=value.get("label", ""))
+        except (TypeError, ValueError) as exc:
+            raise TableError(f"malformed JSONL generalized cell {value!r}: {exc}") from exc
+        if value.get("suppressed"):
+            return SUPPRESSED
+        raise TableError(f"unrecognized JSONL cell object: {value!r}")
+    return value
+
+
+def render_jsonl(table: Table) -> str:
+    """Render ``table`` to JSONL text (schema line + one object per row)."""
+    schema_line = json.dumps(
+        {
+            "schema": [
+                {"name": a.name, "role": a.role.value, "kind": a.kind.value}
+                for a in table.schema.attributes
+            ]
+        }
+    )
+    lines = [schema_line]
+    names = table.schema.names
+    for row in table.rows():
+        lines.append(json.dumps({name: _cell_to_json(row[name]) for name in names}))
+    return "\n".join(lines) + "\n"
+
+
+def write_jsonl(table: Table, path: str | Path) -> Path:
+    """Write ``table`` to ``path`` as JSONL and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_jsonl(table), encoding="utf-8")
+    return path
+
+
+def stream_jsonl(
+    lines: Iterable[str],
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    source: str = "<stream>",
+) -> Table:
+    """Parse JSONL text arriving as an iterable of lines into a table.
+
+    The first non-blank line must be the ``{"schema": [...]}`` header; each
+    following non-blank line is one row object.  Rows are assembled in
+    ``chunk_rows``-sized column chunks, identically to :func:`stream_csv`.
+    """
+    iterator: Iterator[str] = iter(lines)
+    header: dict | None = None
+    for line in iterator:
+        if line.strip():
             try:
-                role_text, kind_text = declaration.split(":")
-                attributes.append(
-                    Attribute(name, AttributeRole(role_text), AttributeKind(kind_text))
+                header = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TableError(f"invalid JSONL schema line in {source}: {exc}") from exc
+            break
+    if header is None:
+        raise TableError(f"JSONL document {source} is missing its schema line")
+    declared = header.get("schema")
+    if not isinstance(declared, list) or not declared:
+        raise TableError(f"JSONL schema line in {source} must hold a non-empty 'schema' list")
+    try:
+        schema = Schema(
+            [
+                Attribute(
+                    entry["name"],
+                    AttributeRole(entry.get("role", "quasi_identifier")),
+                    AttributeKind(entry.get("kind", "numeric")),
                 )
-            except ValueError as exc:
-                raise TableError(
-                    f"invalid role:kind declaration {declaration!r} for column {name!r}"
-                ) from exc
-        schema = Schema(attributes)
-        rows: list[dict[str, object]] = []
-        for line_number, row in enumerate(reader, start=3):
-            if not row:
-                continue
-            if len(row) != len(names):
-                raise TableError(
-                    f"line {line_number} of {path} has {len(row)} cells, expected {len(names)}"
-                )
-            rows.append(
-                {
-                    name: parse_cell(cell, schema[name].kind)
-                    for name, cell in zip(names, row)
-                }
+                for entry in declared
+            ]
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TableError(f"invalid JSONL schema declaration in {source}: {exc}") from exc
+
+    names = list(schema.names)
+    columns = _ChunkedColumns(names, chunk_rows)
+    for line_number, line in enumerate(iterator, start=2):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TableError(f"invalid JSON on line {line_number} of {source}: {exc}") from exc
+        if not isinstance(record, dict):
+            raise TableError(f"line {line_number} of {source} is not a JSON object")
+        missing = [name for name in names if name not in record]
+        if missing:
+            raise TableError(
+                f"line {line_number} of {source} is missing columns {missing}"
             )
-    return Table.from_rows(schema, rows)
+        columns.append_row(_cell_from_json(record[name]) for name in names)
+    return columns.finish(schema)
+
+
+def read_jsonl(path: str | Path, chunk_rows: int = DEFAULT_CHUNK_ROWS) -> Table:
+    """Read a table previously written by :func:`write_jsonl`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        return stream_jsonl(handle, chunk_rows=chunk_rows, source=str(path))

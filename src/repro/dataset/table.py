@@ -35,12 +35,19 @@ columns.
 
 from __future__ import annotations
 
+import hashlib
 import math
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
-from repro.dataset.generalization import numeric_representative, value_to_text
+from repro.dataset.generalization import (
+    CategorySet,
+    Interval,
+    Suppressed,
+    numeric_representative,
+    value_to_text,
+)
 from repro.dataset.schema import Attribute, Schema
 from repro.exceptions import SchemaError, TableError
 
@@ -138,7 +145,7 @@ class Table:
         attribute must be present and all columns must share the same length.
     """
 
-    __slots__ = ("_schema", "_columns", "_num_rows", "_numeric_views")
+    __slots__ = ("_schema", "_columns", "_num_rows", "_numeric_views", "_fingerprint")
 
     def __init__(self, schema: Schema, columns: Mapping[str, Sequence[object]]) -> None:
         self._schema = schema
@@ -157,6 +164,7 @@ class Table:
         self._columns: dict[str, np.ndarray] = arrays
         self._num_rows = next(iter(lengths.values())) if lengths else 0
         self._numeric_views: dict[str, np.ndarray] = {}
+        self._fingerprint: str | None = None
 
     @classmethod
     def _from_arrays(
@@ -172,6 +180,7 @@ class Table:
         table._columns = arrays
         table._num_rows = num_rows
         table._numeric_views = {}
+        table._fingerprint = None
         return table
 
     # Construction helpers ------------------------------------------------------
@@ -236,6 +245,40 @@ class Table:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Table(rows={self.num_rows}, columns={list(self._schema.names)})"
+
+    # Content identity -----------------------------------------------------------
+
+    @property
+    def fingerprint(self) -> str:
+        """A stable content fingerprint of the table (sha256 hex digest).
+
+        The fingerprint hashes the schema (column names, roles, kinds, in
+        order) together with the *values* of every column buffer.  It is a
+        pure function of content: buffer-sharing operations (a full
+        :meth:`project`, a :meth:`rename` round trip) and independently
+        constructed tables with equal cells produce the same fingerprint,
+        while any cell edit, row reorder, or schema change produces a
+        different one.  Numeric cells are canonicalized before hashing —
+        ``5`` and ``5.0`` hash identically (matching ``__eq__`` and the CSV
+        round trip), every NaN hashes the same, and ``-0.0`` hashes as
+        ``0.0`` — so the digest does not depend on whether a column happens
+        to be stored as ``int64``, ``float64`` or ``object``.
+
+        This is the dataset identity the anonymization service keys its
+        release/result caches on.
+        """
+        if self._fingerprint is None:
+            hasher = hashlib.sha256()
+            hasher.update(b"repro.table.v1")
+            for attribute in self._schema.attributes:
+                declaration = (
+                    f"{attribute.name}\x1f{attribute.role.value}\x1f{attribute.kind.value}"
+                ).encode("utf-8")
+                hasher.update(len(declaration).to_bytes(4, "big"))
+                hasher.update(declaration)
+                hasher.update(_column_digest(self._columns[attribute.name]))
+            self._fingerprint = hasher.hexdigest()
+        return self._fingerprint
 
     # Access ---------------------------------------------------------------------
 
@@ -551,6 +594,128 @@ class Table:
     def to_records(self) -> list[dict[str, object]]:
         """All rows as dicts; alias of :meth:`rows` for IO symmetry."""
         return self.rows()
+
+
+def _canonical_float_bytes(array: np.ndarray) -> bytes:
+    """Raw bytes of a float column with NaN and signed-zero canonicalized."""
+    canonical = array.astype(np.float64, copy=True)
+    canonical += 0.0  # -0.0 -> +0.0
+    nan_mask = np.isnan(canonical)
+    if nan_mask.any():
+        canonical[nan_mask] = np.nan  # one NaN bit pattern for all NaNs
+    return canonical.tobytes()
+
+
+def _cell_token(value: object) -> bytes:
+    """Canonical byte token of one object-column cell for fingerprinting.
+
+    Integral floats collapse onto their integer token so a cell compares the
+    same way it hashes (``5 == 5.0``); NaN maps to a dedicated token.
+    """
+    if value is None:
+        return b"N"
+    if isinstance(value, Suppressed):
+        return b"*"
+    if isinstance(value, Interval):
+        return f"I\x1f{_number_token(value.low)}\x1f{_number_token(value.high)}".encode()
+    if isinstance(value, CategorySet):
+        members = "\x1f".join(value.members)
+        return f"C\x1f{value.label}\x1f{members}".encode("utf-8")
+    if isinstance(value, (bool, np.bool_)):
+        return b"b1" if value else b"b0"
+    if isinstance(value, (int, float, np.integer, np.floating)):
+        return b"n" + _number_token(value).encode("utf-8")
+    if isinstance(value, str):
+        return b"s" + value.encode("utf-8")
+    return b"r" + repr(value).encode("utf-8")
+
+
+def _number_token(value: object) -> str:
+    """Canonical text of a number: equal values (int or float) share one token.
+
+    Integers tokenize exactly; an integral float tokenizes as the integer it
+    exactly equals (floats are exact rationals, so ``int(number)`` is exact at
+    any magnitude); non-integral floats use their shortest round-trip repr.
+    """
+    if isinstance(value, (int, np.integer)) and not isinstance(value, bool):
+        return str(int(value))
+    number = float(value)  # type: ignore[arg-type]
+    if math.isnan(number):
+        return "nan"
+    if math.isinf(number):
+        return "inf" if number > 0 else "-inf"
+    if number.is_integer():
+        return str(int(number))
+    return repr(number)
+
+
+def _float_exactly_represents(value: object) -> bool:
+    """Whether ``float(value)`` preserves the numeric value exactly."""
+    if isinstance(value, (float, np.floating)):
+        return True
+    try:
+        return int(float(int(value))) == int(value)  # type: ignore[arg-type]
+    except OverflowError:
+        return False
+
+
+def _column_digest(array: np.ndarray) -> bytes:
+    """Content digest of one storage array, independent of its dtype.
+
+    Integer columns whose values survive the ``float64`` round trip hash via
+    the same canonical float buffer as float columns (so ``[1, 2]`` and
+    ``[1.0, 2.0]`` collide on purpose, exactly as they compare equal);
+    everything else hashes per-cell canonical tokens.
+    """
+    hasher = hashlib.sha256()
+    kind = array.dtype.kind
+    if array.shape[0] == 0:
+        # Empty columns digest identically whatever their storage dtype
+        # (the constructor stores them as object, gathers keep them typed).
+        hasher.update(b"empty")
+    elif kind == "f":
+        hasher.update(b"num")
+        hasher.update(_canonical_float_bytes(array))
+    elif kind in "iu":
+        # |v| <= 2**53 is always float64-exact (the vectorized common case);
+        # larger magnitudes are verified per value through exact Python ints —
+        # a float64->int64 round-trip cast would hit undefined overflow near
+        # the int64 boundary and emit RuntimeWarnings.
+        in_safe_range = bool(
+            ((array >= -(2**53)) & (array <= 2**53)).all()
+        )
+        if in_safe_range or all(_float_exactly_represents(v) for v in array.tolist()):
+            hasher.update(b"num")
+            hasher.update(array.astype(np.float64).tobytes())
+        else:  # integers float64 cannot represent: exact per-value tokens
+            hasher.update(b"obj")
+            for value in array.tolist():
+                token = _cell_token(value)
+                hasher.update(len(token).to_bytes(4, "big"))
+                hasher.update(token)
+    else:
+        values = list(array)
+        if values and all(
+            isinstance(v, (int, float, np.integer, np.floating))
+            and not isinstance(v, (bool, np.bool_))
+            and _float_exactly_represents(v)
+            for v in values
+        ):
+            # Plain-number object columns (e.g. ungeneralized release cells)
+            # hash exactly like their typed int64/float64 counterparts; the
+            # exact-representation test mirrors the int64 branch above, so the
+            # float-buffer/token decision depends only on the values.
+            hasher.update(b"num")
+            hasher.update(
+                _canonical_float_bytes(np.array([float(v) for v in values], dtype=np.float64))
+            )
+        else:
+            hasher.update(b"obj")
+            for value in values:
+                token = _cell_token(value)
+                hasher.update(len(token).to_bytes(4, "big"))
+                hasher.update(token)
+    return hasher.digest()
 
 
 def _numeric_view_of_objects(array: np.ndarray) -> np.ndarray:

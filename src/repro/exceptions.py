@@ -23,6 +23,9 @@ __all__ = [
     "FREDConfigurationError",
     "FREDInfeasibleError",
     "ExperimentError",
+    "ServiceError",
+    "UnknownDatasetError",
+    "UnknownJobError",
 ]
 
 
@@ -93,3 +96,15 @@ class FREDInfeasibleError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment runner was asked for an unknown figure/table or bad parameters."""
+
+
+class ServiceError(ReproError):
+    """An anonymization-service request was invalid (bad parameters, bad payload)."""
+
+
+class UnknownDatasetError(ServiceError):
+    """A service request referenced a dataset fingerprint that is not registered."""
+
+
+class UnknownJobError(ServiceError):
+    """A service request referenced a job id that does not exist."""

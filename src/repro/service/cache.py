@@ -1,0 +1,230 @@
+"""Two-tier result cache with single-flight computation.
+
+The anonymization service memoizes every expensive artifact — releases,
+attack estimates, FRED sweeps — by a structured key built from the dataset's
+content fingerprint plus the full request configuration
+(``(fingerprint, artifact, algorithm, level, config...)``).  The cache has
+two tiers:
+
+* an **in-process LRU** bounded by entry count (the hot tier every request
+  hits first);
+* an optional **on-disk spill** directory holding pickled entries keyed by
+  the sha256 of the cache key, so results survive LRU eviction and process
+  restarts.
+
+Concurrency: lookups and computations go through :meth:`TwoTierCache.get_or_compute`,
+which implements **single-flight** semantics — when N threads miss on the
+same key simultaneously, exactly one of them (the *leader*) computes the
+value while the rest wait on it, so a cache stampede can never run the same
+anonymization twice.  Failures are propagated to every waiter but are *not*
+cached; a later request retries the computation.  The counters exposed by
+:meth:`TwoTierCache.stats` make the exactly-once property observable (and
+testable): ``computations`` counts actual executions, ``coalesced_waits``
+counts requests that piggybacked on another thread's in-flight computation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Callable, TypeVar
+
+from repro.exceptions import ServiceError
+
+__all__ = ["TwoTierCache"]
+
+T = TypeVar("T")
+
+#: Cache keys are flat tuples of primitives so they hash, order and
+#: serialize deterministically.
+CacheKey = tuple
+
+
+class _InFlight:
+    """A computation in progress: waiters block on ``event`` for the outcome."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: object = None
+        self.error: BaseException | None = None
+
+
+class TwoTierCache:
+    """In-process LRU + optional on-disk spill, with single-flight computes.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries held in memory; the least recently used
+        entry is evicted first.  Evicted entries remain retrievable from the
+        spill directory when one is configured.
+    spill_dir:
+        Optional directory for the persistent tier.  Entries are pickled as
+        ``(key, value)`` pairs under the sha256 of the key and written
+        atomically (temp file + rename), so concurrent writers and abrupt
+        shutdowns never leave a torn entry.
+    """
+
+    def __init__(self, capacity: int = 128, spill_dir: str | Path | None = None) -> None:
+        if capacity < 1:
+            raise ServiceError(f"cache capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._spill_dir = Path(spill_dir) if spill_dir is not None else None
+        if self._spill_dir is not None:
+            self._spill_dir.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._memory: OrderedDict[CacheKey, object] = OrderedDict()
+        self._inflight: dict[CacheKey, _InFlight] = {}
+        self._memory_hits = 0
+        self._disk_hits = 0
+        self._misses = 0
+        self._computations = 0
+        self._coalesced_waits = 0
+
+    # Lookup / computation ------------------------------------------------------
+
+    def get(self, key: CacheKey) -> object | None:
+        """The cached value for ``key`` (memory, then disk), or ``None``."""
+        with self._lock:
+            if key in self._memory:
+                self._memory.move_to_end(key)
+                self._memory_hits += 1
+                return self._memory[key]
+        value = self._load_spilled(key)
+        if value is not None:
+            with self._lock:
+                self._disk_hits += 1
+                self._store_memory(key, value)
+        return value
+
+    def get_or_compute(self, key: CacheKey, compute: Callable[[], T]) -> T:
+        """Return the cached value for ``key``, computing it at most once.
+
+        Concurrent callers with the same key coalesce onto a single
+        computation; callers with different keys proceed independently.  The
+        computation runs outside the cache lock, so a slow anonymization
+        never blocks unrelated lookups.
+        """
+        while True:
+            with self._lock:
+                if key in self._memory:
+                    self._memory.move_to_end(key)
+                    self._memory_hits += 1
+                    return self._memory[key]  # type: ignore[return-value]
+                flight = self._inflight.get(key)
+                if flight is None:
+                    flight = _InFlight()
+                    self._inflight[key] = flight
+                    leader = True
+                else:
+                    self._coalesced_waits += 1
+                    leader = False
+            if not leader:
+                flight.event.wait()
+                if flight.error is not None:
+                    raise flight.error
+                if flight.value is not _SENTINEL:
+                    return flight.value  # type: ignore[return-value]
+                continue  # leader aborted without a value; retry
+            try:
+                value: object = self._load_spilled(key)
+                if value is not None:
+                    with self._lock:
+                        self._disk_hits += 1
+                else:
+                    with self._lock:
+                        self._misses += 1
+                    value = compute()
+                    with self._lock:
+                        self._computations += 1
+                    self._spill(key, value)
+                with self._lock:
+                    self._store_memory(key, value)
+                    del self._inflight[key]
+                flight.value = value
+                flight.event.set()
+                return value  # type: ignore[return-value]
+            except BaseException as error:
+                with self._lock:
+                    self._inflight.pop(key, None)
+                flight.value = _SENTINEL
+                flight.error = error
+                flight.event.set()
+                raise
+
+    # Introspection -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._memory)
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot proving cache behaviour (hits, misses, coalescing)."""
+        with self._lock:
+            return {
+                "capacity": self._capacity,
+                "entries": len(self._memory),
+                "memory_hits": self._memory_hits,
+                "disk_hits": self._disk_hits,
+                "misses": self._misses,
+                "computations": self._computations,
+                "coalesced_waits": self._coalesced_waits,
+            }
+
+    def clear(self) -> None:
+        """Drop the in-memory tier (spilled entries are kept)."""
+        with self._lock:
+            self._memory.clear()
+
+    # Internals -----------------------------------------------------------------
+
+    def _store_memory(self, key: CacheKey, value: object) -> None:
+        """Install ``value`` under ``key`` and evict LRU overflow.  Lock held."""
+        self._memory[key] = value
+        self._memory.move_to_end(key)
+        while len(self._memory) > self._capacity:
+            self._memory.popitem(last=False)
+
+    def _spill_path(self, key: CacheKey) -> Path:
+        digest = hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+        assert self._spill_dir is not None
+        return self._spill_dir / f"{digest}.pkl"
+
+    def _spill(self, key: CacheKey, value: object) -> None:
+        if self._spill_dir is None:
+            return
+        path = self._spill_path(key)
+        temp = path.with_suffix(f".tmp.{os.getpid()}.{threading.get_ident()}")
+        try:
+            with temp.open("wb") as handle:
+                pickle.dump((key, value), handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp, path)
+        except (OSError, pickle.PicklingError):
+            temp.unlink(missing_ok=True)  # spill is best-effort; memory tier holds the value
+
+    def _load_spilled(self, key: CacheKey) -> object | None:
+        if self._spill_dir is None:
+            return None
+        path = self._spill_path(key)
+        try:
+            with path.open("rb") as handle:
+                stored_key, value = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ValueError):
+            return None
+        if stored_key != key:  # sha collision or foreign file: ignore
+            return None
+        return value
+
+
+class _Sentinel:
+    __slots__ = ()
+
+
+#: Marks an in-flight slot whose leader failed (waiters retry or re-raise).
+_SENTINEL = _Sentinel()

@@ -1,0 +1,523 @@
+"""The anonymization service core: registry, cached artifacts, async jobs.
+
+:class:`AnonymizationService` is the framework-free heart of the serving
+tier.  It is driven directly by tests and benchmarks and wrapped by the thin
+JSON/HTTP layer in :mod:`repro.service.http`:
+
+* **register** a dataset once (from an in-memory table or a streamed
+  CSV/JSONL body) — its :attr:`~repro.dataset.table.Table.fingerprint`
+  becomes the dataset id, so registering identical content twice is a no-op;
+* request an anonymized **release** at level *k* under any registered
+  algorithm (MDAV, Mondrian, Datafly, greedy clustering, plain suppression) —
+  releases are rendered to CSV once and memoized in the two-tier cache, so a
+  repeat request is an O(1) dictionary hit returning byte-identical text;
+* run the web-based **fusion attack** against a release (memoized the same
+  way);
+* launch a **FRED sweep** as an asynchronous job and poll it, with the sweep
+  itself fanned out over :class:`~repro.core.fred.FREDConfig` worker pools.
+
+All public methods are thread-safe; the cache's single-flight discipline
+guarantees that concurrent identical requests compute each artifact exactly
+once (see :mod:`repro.service.cache`).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.anonymize.clustering import GreedyClusterAnonymizer
+from repro.anonymize.datafly import DataflyAnonymizer
+from repro.anonymize.mdav import MDAVAnonymizer
+from repro.anonymize.mondrian import MondrianAnonymizer
+from repro.core.fred import FREDAnonymizer, FREDConfig
+from repro.core.objective import WeightedObjective
+from repro.dataset.io import render_csv, stream_csv, stream_jsonl
+from repro.dataset.table import Table
+from repro.exceptions import ServiceError, UnknownDatasetError
+from repro.fusion.attack import AttackConfig, WebFusionAttack
+from repro.fusion.auxiliary import TableAuxiliarySource
+from repro.service.cache import TwoTierCache
+from repro.service.jobs import JobManager
+
+__all__ = ["AnonymizationService", "ReleaseArtifact", "ALGORITHMS"]
+
+
+def _suppression_anonymizer() -> DataflyAnonymizer:
+    # Pure suppression-to-k: with the suppression budget uncapped, Datafly
+    # performs zero generalization steps and suppresses exactly the rows whose
+    # verbatim quasi-identifier combination occurs fewer than k times.
+    return DataflyAnonymizer(max_suppression_fraction=1.0)
+
+
+#: Algorithm name -> zero-argument anonymizer factory.
+ALGORITHMS: dict[str, Callable[[], object]] = {
+    "mdav": MDAVAnonymizer,
+    "mondrian": MondrianAnonymizer,
+    "datafly": DataflyAnonymizer,
+    "greedy-cluster": GreedyClusterAnonymizer,
+    "suppression": _suppression_anonymizer,
+}
+
+_RELEASE_STYLES = ("interval", "centroid")
+
+
+@dataclass(frozen=True)
+class ReleaseArtifact:
+    """A memoized release: the table plus its one-time CSV rendering.
+
+    ``csv_text`` is rendered exactly once, when the release is first
+    computed; every subsequent (cached) request serves the same string, which
+    is what makes concurrent responses byte-identical by construction.
+    """
+
+    dataset: str
+    algorithm: str
+    k: int
+    style: str
+    table: Table
+    csv_text: str
+    class_sizes: tuple[int, ...]
+
+    @property
+    def minimum_class_size(self) -> int:
+        """The achieved anonymity (size of the smallest equivalence class)."""
+        return min(self.class_sizes)
+
+    def info(self) -> dict[str, object]:
+        """JSON-able summary (everything but the payload)."""
+        return {
+            "dataset": self.dataset,
+            "algorithm": self.algorithm,
+            "k": self.k,
+            "style": self.style,
+            "rows": self.table.num_rows,
+            "classes": len(self.class_sizes),
+            "minimum_class_size": self.minimum_class_size,
+        }
+
+
+@dataclass(frozen=True)
+class _DatasetEntry:
+    table: Table
+    label: str
+
+
+class AnonymizationService:
+    """Long-lived, thread-safe façade over the anonymization pipeline.
+
+    Parameters
+    ----------
+    cache_capacity:
+        In-memory LRU entry budget of the artifact cache.
+    cache_dir:
+        Optional spill directory; cached artifacts survive eviction and
+        restarts when set.
+    job_workers:
+        Worker threads executing asynchronous FRED jobs.
+    job_retention:
+        Maximum finished jobs kept for polling (oldest evicted first).
+    max_datasets:
+        Optional cap on concurrently registered datasets; registration past
+        the cap is rejected with :class:`~repro.exceptions.ServiceError`
+        (clients free slots via :meth:`unregister` / ``DELETE /datasets/<fp>``).
+        ``None`` (the default) leaves the registry unbounded.
+    fred_parallelism:
+        Default per-sweep level parallelism handed to
+        :class:`~repro.core.fred.FREDConfig` for jobs that do not specify
+        their own.
+    """
+
+    def __init__(
+        self,
+        cache_capacity: int = 128,
+        cache_dir: str | Path | None = None,
+        job_workers: int = 2,
+        job_retention: int = 256,
+        max_datasets: int | None = None,
+        fred_parallelism: int = 1,
+    ) -> None:
+        if fred_parallelism < 1:
+            raise ServiceError(f"fred parallelism must be >= 1, got {fred_parallelism}")
+        if max_datasets is not None and max_datasets < 1:
+            raise ServiceError(f"max datasets must be >= 1, got {max_datasets}")
+        self._max_datasets = max_datasets
+        self._datasets: dict[str, _DatasetEntry] = {}
+        self._datasets_lock = threading.Lock()
+        self._cache = TwoTierCache(capacity=cache_capacity, spill_dir=cache_dir)
+        self._jobs = JobManager(max_workers=job_workers, max_retained=job_retention)
+        self._fred_parallelism = fred_parallelism
+        self._closed = False
+
+    # Dataset registry ----------------------------------------------------------
+
+    def register(self, table: Table, label: str = "") -> dict[str, object]:
+        """Register an in-memory table; its content fingerprint is the id.
+
+        Registering content that is already present is idempotent (the
+        existing entry and ``created=False`` are returned), so many clients
+        can upload the same dataset without coordination.
+        """
+        if table.num_rows == 0:
+            raise ServiceError("cannot register an empty dataset")
+        fingerprint = table.fingerprint
+        with self._datasets_lock:
+            existing = self._datasets.get(fingerprint)
+            if existing is None:
+                if (
+                    self._max_datasets is not None
+                    and len(self._datasets) >= self._max_datasets
+                ):
+                    raise ServiceError(
+                        f"dataset registry is full ({self._max_datasets} datasets); "
+                        "unregister one to free a slot"
+                    )
+                self._datasets[fingerprint] = _DatasetEntry(table=table, label=label)
+                created = True
+            else:
+                created = False
+        info = self._dataset_info(fingerprint)
+        info["created"] = created
+        return info
+
+    def unregister(self, fingerprint: str) -> dict[str, object]:
+        """Remove a registered dataset, releasing its registry slot and memory.
+
+        Cached artifacts derived from the dataset are left in the cache (they
+        are keyed by content, so re-registering the same data later still
+        hits them); unknown fingerprints raise
+        :class:`~repro.exceptions.UnknownDatasetError`.
+        """
+        with self._datasets_lock:
+            entry = self._datasets.pop(fingerprint, None)
+        if entry is None:
+            raise UnknownDatasetError(f"unknown dataset: {fingerprint!r}")
+        return {"fingerprint": fingerprint, "label": entry.label, "removed": True}
+
+    def register_stream(
+        self, lines: Iterable[str], fmt: str = "csv", label: str = ""
+    ) -> dict[str, object]:
+        """Register a dataset from streamed CSV/JSONL text lines."""
+        if fmt == "csv":
+            table = stream_csv(lines, source=f"<upload:{label or 'csv'}>")
+        elif fmt == "jsonl":
+            table = stream_jsonl(lines, source=f"<upload:{label or 'jsonl'}>")
+        else:
+            raise ServiceError(f"unknown upload format {fmt!r}; options: ['csv', 'jsonl']")
+        return self.register(table, label=label)
+
+    def dataset(self, fingerprint: str) -> Table:
+        """The registered table with this fingerprint."""
+        with self._datasets_lock:
+            entry = self._datasets.get(fingerprint)
+        if entry is None:
+            raise UnknownDatasetError(f"unknown dataset: {fingerprint!r}")
+        return entry.table
+
+    def _dataset_info(self, fingerprint: str) -> dict[str, object]:
+        with self._datasets_lock:
+            entry = self._datasets[fingerprint]
+        return {
+            "fingerprint": fingerprint,
+            "label": entry.label,
+            "rows": entry.table.num_rows,
+            "columns": list(entry.table.schema.names),
+        }
+
+    def dataset_info(self, fingerprint: str) -> dict[str, object]:
+        """JSON-able description of one registered dataset."""
+        self.dataset(fingerprint)  # raises UnknownDatasetError
+        return self._dataset_info(fingerprint)
+
+    def list_datasets(self) -> list[dict[str, object]]:
+        """Descriptions of every registered dataset (registration order)."""
+        with self._datasets_lock:
+            fingerprints = list(self._datasets)
+        return [self._dataset_info(fp) for fp in fingerprints]
+
+    # Releases ------------------------------------------------------------------
+
+    def release(
+        self,
+        fingerprint: str,
+        k: int,
+        algorithm: str = "mdav",
+        style: str = "interval",
+    ) -> ReleaseArtifact:
+        """The anonymized release of a dataset at level ``k`` (memoized)."""
+        table = self.dataset(fingerprint)
+        if algorithm not in ALGORITHMS:
+            raise ServiceError(
+                f"unknown algorithm {algorithm!r}; options: {sorted(ALGORITHMS)}"
+            )
+        if style not in _RELEASE_STYLES:
+            raise ServiceError(
+                f"unknown release style {style!r}; options: {sorted(_RELEASE_STYLES)}"
+            )
+        if style == "centroid" and algorithm in ("datafly", "suppression"):
+            raise ServiceError(
+                f"algorithm {algorithm!r} only supports the 'interval' release style"
+            )
+        if not isinstance(k, int) or isinstance(k, bool):
+            raise ServiceError(f"k must be an integer, got {k!r}")
+        key = (fingerprint, "release", algorithm, k, style)
+        return self._cache.get_or_compute(
+            key, lambda: self._compute_release(table, fingerprint, k, algorithm, style)
+        )
+
+    def _compute_release(
+        self, table: Table, fingerprint: str, k: int, algorithm: str, style: str
+    ) -> ReleaseArtifact:
+        anonymizer = ALGORITHMS[algorithm]()
+        if style != "interval":
+            anonymizer.release_style = style
+        result = anonymizer.anonymize(table, k)
+        return ReleaseArtifact(
+            dataset=fingerprint,
+            algorithm=algorithm,
+            k=k,
+            style=style,
+            table=result.release,
+            csv_text=render_csv(result.release),
+            class_sizes=tuple(c.size for c in result.classes),
+        )
+
+    # Fusion attack -------------------------------------------------------------
+
+    def attack(
+        self,
+        fingerprint: str,
+        auxiliary: str,
+        k: int,
+        algorithm: str = "mdav",
+        style: str = "interval",
+        name_column: str = "name",
+        sensitive_name: str = "sensitive_estimate",
+        sensitive_low: float | None = None,
+        sensitive_high: float | None = None,
+        engine: str = "mamdani",
+    ) -> dict[str, object]:
+        """Simulate the fusion attack on a (memoized) release of a dataset.
+
+        ``auxiliary`` is the fingerprint of a registered auxiliary (web)
+        dataset keyed by ``name_column``.  The assumed sensitive range
+        defaults to the span of the private dataset's sensitive column.
+        The full result — per-record estimates and the match rate — is
+        memoized under the complete request configuration.
+        """
+        private = self.dataset(fingerprint)
+        self.dataset(auxiliary)  # fail fast on unknown auxiliary
+        low, high = self._sensitive_range(private, sensitive_low, sensitive_high)
+        key = (
+            fingerprint, "attack", auxiliary, algorithm, k, style,
+            name_column, sensitive_name, low, high, engine,
+        )
+        return self._cache.get_or_compute(
+            key,
+            lambda: self._compute_attack(
+                fingerprint, auxiliary, k, algorithm, style,
+                name_column, sensitive_name, low, high, engine,
+            ),
+        )
+
+    def _compute_attack(
+        self,
+        fingerprint: str,
+        auxiliary: str,
+        k: int,
+        algorithm: str,
+        style: str,
+        name_column: str,
+        sensitive_name: str,
+        low: float,
+        high: float,
+        engine: str,
+    ) -> dict[str, object]:
+        artifact = self.release(fingerprint, k, algorithm=algorithm, style=style)
+        source = TableAuxiliarySource(
+            table=self.dataset(auxiliary), name_column=name_column
+        )
+        config = AttackConfig(
+            release_inputs=tuple(artifact.table.schema.numeric_quasi_identifiers),
+            auxiliary_inputs=tuple(source.attribute_names),
+            output_name=sensitive_name,
+            output_universe=(low, high),
+            engine=engine,
+        )
+        result = WebFusionAttack(source, config).run(artifact.table)
+        return {
+            "dataset": fingerprint,
+            "auxiliary": auxiliary,
+            "algorithm": algorithm,
+            "k": k,
+            "engine": engine,
+            "names": [str(n) for n in artifact.table.identifier_column()],
+            "estimates": [float(v) for v in result.estimates],
+            "match_rate": float(result.match_rate),
+        }
+
+    def _sensitive_range(
+        self, private: Table, low: float | None, high: float | None
+    ) -> tuple[float, float]:
+        if low is None or high is None:
+            sensitive = private.sensitive_vector()
+            finite = sensitive[np.isfinite(sensitive)]
+            if finite.size == 0:
+                raise ServiceError(
+                    "the sensitive column has no numeric values; pass an "
+                    "explicit sensitive_low/sensitive_high range"
+                )
+            if low is None:
+                low = float(np.floor(finite.min()))
+            if high is None:
+                high = float(np.ceil(finite.max()))
+        if math.isnan(low) or math.isnan(high) or low >= high:
+            raise ServiceError(
+                f"the assumed sensitive range [{low}, {high}] is empty"
+            )
+        return float(low), float(high)
+
+    # FRED jobs -----------------------------------------------------------------
+
+    def start_fred(
+        self,
+        fingerprint: str,
+        auxiliary: str,
+        kmin: int = 2,
+        kmax: int = 16,
+        algorithm: str = "mdav",
+        name_column: str = "name",
+        sensitive_low: float | None = None,
+        sensitive_high: float | None = None,
+        protection_weight: float = 0.5,
+        utility_weight: float = 0.5,
+        protection_threshold: float | None = None,
+        utility_threshold: float | None = None,
+        parallelism: int | None = None,
+    ) -> str:
+        """Launch a FRED sweep as an asynchronous job; returns the job id.
+
+        The sweep result is memoized like any other artifact, so re-running
+        an identical job returns instantly with the cached sweep.
+        """
+        private = self.dataset(fingerprint)
+        self.dataset(auxiliary)
+        if algorithm not in ALGORITHMS:
+            raise ServiceError(
+                f"unknown algorithm {algorithm!r}; options: {sorted(ALGORITHMS)}"
+            )
+        if kmin < 1 or kmax < kmin:
+            raise ServiceError(f"invalid level range [{kmin}, {kmax}]")
+        if parallelism is None:
+            workers = self._fred_parallelism
+        elif isinstance(parallelism, int) and not isinstance(parallelism, bool) and parallelism >= 1:
+            workers = parallelism
+        else:
+            raise ServiceError(f"parallelism must be an integer >= 1, got {parallelism!r}")
+        low, high = self._sensitive_range(private, sensitive_low, sensitive_high)
+        key = (
+            fingerprint, "fred", auxiliary, algorithm, kmin, kmax, name_column,
+            low, high, protection_weight, utility_weight,
+            protection_threshold, utility_threshold,
+        )
+
+        def work() -> dict[str, object]:
+            return self._cache.get_or_compute(
+                key,
+                lambda: self._compute_fred(
+                    fingerprint, auxiliary, kmin, kmax, algorithm, name_column,
+                    low, high, protection_weight, utility_weight,
+                    protection_threshold, utility_threshold, workers,
+                ),
+            )
+
+        return self._jobs.submit(
+            work, description=f"fred {fingerprint[:12]} k={kmin}..{kmax} ({algorithm})"
+        )
+
+    def _compute_fred(
+        self,
+        fingerprint: str,
+        auxiliary: str,
+        kmin: int,
+        kmax: int,
+        algorithm: str,
+        name_column: str,
+        low: float,
+        high: float,
+        protection_weight: float,
+        utility_weight: float,
+        protection_threshold: float | None,
+        utility_threshold: float | None,
+        parallelism: int,
+    ) -> dict[str, object]:
+        private = self.dataset(fingerprint)
+        source = TableAuxiliarySource(
+            table=self.dataset(auxiliary), name_column=name_column
+        )
+        release_view = private.release_view()
+        config = AttackConfig(
+            release_inputs=tuple(release_view.schema.numeric_quasi_identifiers),
+            auxiliary_inputs=tuple(source.attribute_names),
+            output_name=private.schema.sensitive_attribute,
+            output_universe=(low, high),
+            engine="mamdani",
+        )
+        fred = FREDAnonymizer(
+            source,
+            config,
+            FREDConfig(
+                levels=tuple(range(kmin, kmax + 1)),
+                protection_threshold=protection_threshold,
+                utility_threshold=utility_threshold,
+                objective=WeightedObjective(protection_weight, utility_weight),
+                anonymizer=ALGORITHMS[algorithm](),
+                stop_below_utility=utility_threshold is not None,
+                parallelism=parallelism,
+            ),
+        )
+        result = fred.run(private)
+        payload = result.to_dict()
+        payload["dataset"] = fingerprint
+        payload["auxiliary"] = auxiliary
+        payload["algorithm"] = algorithm
+        return payload
+
+    def job_status(self, job_id: str) -> dict[str, object]:
+        """Snapshot of one asynchronous job."""
+        return self._jobs.status(job_id)
+
+    def wait_for_job(self, job_id: str, timeout: float | None = None) -> dict[str, object]:
+        """Block until a job finishes and return its snapshot (for tests/CLI)."""
+        return self._jobs.wait(job_id, timeout=timeout)
+
+    # Lifecycle / introspection -------------------------------------------------
+
+    def stats(self) -> dict[str, object]:
+        """Service counters: datasets, cache behaviour, job states."""
+        with self._datasets_lock:
+            dataset_count = len(self._datasets)
+        jobs = self._jobs.jobs()
+        return {
+            "datasets": dataset_count,
+            "cache": self._cache.stats(),
+            "jobs": {
+                "total": len(jobs),
+                "by_status": {
+                    status: sum(1 for j in jobs if j["status"] == status)
+                    for status in sorted({str(j["status"]) for j in jobs})
+                },
+            },
+        }
+
+    def close(self, wait: bool = True) -> None:
+        """Shut the service down, draining in-flight jobs when ``wait`` is set."""
+        if self._closed:
+            return
+        self._closed = True
+        self._jobs.shutdown(wait=wait)

@@ -7,6 +7,10 @@ setup with module-scoped caching.
 
 from __future__ import annotations
 
+import json
+import urllib.error
+import urllib.request
+
 import numpy as np
 import pytest
 
@@ -91,3 +95,83 @@ def faculty_attack_config(faculty_population) -> AttackConfig:
 def rng() -> np.random.Generator:
     """A deterministic RNG for tests that need random draws."""
     return np.random.default_rng(1234)
+
+
+@pytest.fixture()
+def faculty_auxiliary_table(faculty_population) -> Table:
+    """The faculty web profiles as a registrable auxiliary table."""
+    schema = Schema(
+        [Attribute("name", AttributeRole.IDENTIFIER, AttributeKind.TEXT)]
+        + [
+            Attribute(name, AttributeRole.QUASI_IDENTIFIER)
+            for name in faculty_population.auxiliary_attributes
+        ]
+    )
+    rows = [
+        {
+            "name": profile["name"],
+            **{
+                name: profile[name]
+                for name in faculty_population.auxiliary_attributes
+            },
+        }
+        for profile in faculty_population.profiles
+    ]
+    return Table.from_rows(schema, rows)
+
+
+class ServiceClient:
+    """A tiny urllib-based JSON/HTTP client for the anonymization service."""
+
+    def __init__(self, port: int) -> None:
+        self.base = f"http://127.0.0.1:{port}"
+
+    def _open(self, request: urllib.request.Request):
+        try:
+            response = urllib.request.urlopen(request, timeout=60)
+            return response.status, dict(response.headers), response.read()
+        except urllib.error.HTTPError as error:
+            return error.code, dict(error.headers), error.read()
+
+    def get(self, path: str):
+        """GET ``path`` -> (status, parsed JSON)."""
+        status, _, body = self._open(urllib.request.Request(self.base + path))
+        return status, json.loads(body)
+
+    def post_raw(self, path: str, data: bytes, content_type: str):
+        """POST raw bytes -> (status, headers, body bytes)."""
+        request = urllib.request.Request(
+            self.base + path,
+            data=data,
+            headers={"Content-Type": content_type},
+            method="POST",
+        )
+        return self._open(request)
+
+    def post_json(self, path: str, document: dict):
+        """POST a JSON body -> (status, headers, body bytes)."""
+        return self.post_raw(
+            path, json.dumps(document).encode("utf-8"), "application/json"
+        )
+
+
+@pytest.fixture()
+def service():
+    """A fresh in-process anonymization service (closed on teardown)."""
+    from repro.service import AnonymizationService
+
+    instance = AnonymizationService(cache_capacity=64, job_workers=2)
+    yield instance
+    instance.close()
+
+
+@pytest.fixture()
+def service_client(service):
+    """An HTTP server bound to ``service`` plus a client for it."""
+    from repro.service import build_server
+
+    server = build_server(port=0, service=service).serve_in_background()
+    client = ServiceClient(server.port)
+    client.server = server
+    yield client
+    server.close()

@@ -49,6 +49,30 @@ class TestParser:
         assert arguments.k == 3
         assert arguments.algorithm == "mdav"
 
+    def test_help_lists_every_subcommand(self):
+        help_text = build_parser().format_help()
+        for command in ("anonymize", "attack", "fred", "serve"):
+            assert command in help_text
+
+    def test_parses_serve_with_defaults(self):
+        arguments = build_parser().parse_args(["serve"])
+        assert arguments.command == "serve"
+        assert arguments.host == "127.0.0.1"
+        assert arguments.port == 8080
+        assert arguments.cache_size == 128
+        assert arguments.cache_dir is None
+        assert arguments.job_workers == 2
+        assert arguments.fred_parallelism == 1
+        assert arguments.verbose is False
+
+    def test_parses_serve_overrides(self):
+        arguments = build_parser().parse_args(
+            ["serve", "--port", "0", "--cache-size", "16", "--cache-dir", "/tmp/c"]
+        )
+        assert arguments.port == 0
+        assert arguments.cache_size == 16
+        assert str(arguments.cache_dir) == "/tmp/c"
+
 
 class TestAnonymizeCommand:
     def test_writes_k_anonymous_release(self, csv_paths, tmp_path, capsys):
@@ -165,3 +189,64 @@ class TestFredCommand:
         assert main(base + ["--parallelism", "4"]) == 0
         parallel_out = capsys.readouterr().out
         assert parallel_out == serial_out
+
+
+class TestServeCommand:
+    def test_serve_subprocess_answers_http(self, csv_paths, tmp_path):
+        """``repro serve`` boots, registers a dataset, serves a release, dies."""
+        import json
+        import os
+        import signal
+        import subprocess
+        import sys
+        import urllib.request
+
+        private_path, _ = csv_paths
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+             "--cache-dir", str(tmp_path / "spill")],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        try:
+            banner = process.stdout.readline()
+            assert "serving on http://" in banner
+            port = int(banner.strip().rsplit(":", 1)[1])
+            base = f"http://127.0.0.1:{port}"
+
+            with urllib.request.urlopen(f"{base}/healthz", timeout=30) as response:
+                assert json.loads(response.read()) == {"status": "ok"}
+
+            request = urllib.request.Request(
+                f"{base}/datasets",
+                data=private_path.read_bytes(),
+                headers={"Content-Type": "text/csv"},
+                method="POST",
+            )
+            with urllib.request.urlopen(request, timeout=30) as response:
+                fingerprint = json.loads(response.read())["fingerprint"]
+
+            release_request = urllib.request.Request(
+                f"{base}/release",
+                data=json.dumps({"dataset": fingerprint, "k": 3}).encode(),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            with urllib.request.urlopen(release_request, timeout=60) as response:
+                first = response.read()
+            with urllib.request.urlopen(release_request, timeout=60) as response:
+                second = response.read()
+            assert first == second and b"salary" not in first
+
+            process.send_signal(signal.SIGINT)
+            assert process.wait(timeout=30) == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=30)
+            process.stdout.close()

@@ -343,3 +343,83 @@ class TestReleaseClassExtractionGolden:
         assert [
             c.indices for c in equivalence_classes_of_release(release)
         ] == seed_equivalence_classes(release)
+
+
+class TestServiceGolden:
+    """The HTTP service serves the same bytes the direct pipeline produces.
+
+    The seeded faculty and census tables are uploaded through the HTTP API
+    (streamed CSV ingest) and their releases requested over the wire; the
+    response must be byte-identical to rendering the release built by calling
+    the anonymizer → :func:`build_release` path directly.  This pins the
+    whole serving stack — fingerprint registration, cache, CSV rendering —
+    as a pure transport around the golden pipeline above.
+    """
+
+    @staticmethod
+    def _serve_release(client, table, algorithm, k):
+        import json
+
+        from repro.dataset.io import render_csv
+
+        status, _, body = client.post_raw(
+            "/datasets", render_csv(table).encode(), "text/csv"
+        )
+        assert status in (200, 201)
+        fingerprint = json.loads(body)["fingerprint"]
+        status, _, payload = client.post_json(
+            "/release", {"dataset": fingerprint, "k": k, "algorithm": algorithm}
+        )
+        assert status == 200
+        return payload.decode("utf-8")
+
+    @pytest.mark.parametrize(
+        "algorithm, anonymizer_class, k",
+        [
+            ("mdav", MDAVAnonymizer, 3),
+            ("mondrian", MondrianAnonymizer, 3),
+            ("greedy-cluster", GreedyClusterAnonymizer, 4),
+        ],
+    )
+    def test_faculty_release_over_http_is_byte_identical(
+        self, service_client, faculty_population, algorithm, anonymizer_class, k
+    ):
+        from repro.dataset.io import render_csv
+
+        table = faculty_population.private
+        direct = anonymizer_class().anonymize(table, k).release
+        served = self._serve_release(service_client, table, algorithm, k)
+        assert served == render_csv(direct)
+
+    @pytest.mark.parametrize(
+        "algorithm, anonymizer_class, k",
+        [("mdav", MDAVAnonymizer, 4), ("mondrian", MondrianAnonymizer, 4)],
+    )
+    def test_census_release_over_http_is_byte_identical(
+        self, service_client, census_table, algorithm, anonymizer_class, k
+    ):
+        from repro.dataset.io import render_csv
+
+        direct = anonymizer_class().anonymize(census_table, k).release
+        served = self._serve_release(service_client, census_table, algorithm, k)
+        assert served == render_csv(direct)
+
+    def test_served_release_matches_direct_build_release(
+        self, service_client, faculty_population
+    ):
+        from repro.dataset.io import render_csv
+
+        table = faculty_population.private
+        classes = MDAVAnonymizer().partition(table, 5)
+        direct = build_release(table, classes, k=5)
+        served = self._serve_release(service_client, table, "mdav", 5)
+        assert served == render_csv(direct)
+
+    def test_cached_and_uncached_responses_are_identical(
+        self, service_client, faculty_population
+    ):
+        table = faculty_population.private
+        first = self._serve_release(service_client, table, "mdav", 3)
+        second = self._serve_release(service_client, table, "mdav", 3)
+        assert first == second
+        assert service_client.server.service.stats()["cache"]["computations"] == 1

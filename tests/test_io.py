@@ -1,12 +1,26 @@
-"""Unit tests for repro.dataset.io (CSV round-tripping)."""
+"""Unit tests for repro.dataset.io (CSV / JSONL round-tripping and streaming)."""
 
 from __future__ import annotations
+
+import io
+import math
 
 import pytest
 
 from repro.dataset.generalization import SUPPRESSED, CategorySet, Interval
-from repro.dataset.io import parse_cell, read_csv, render_cell, write_csv
-from repro.dataset.schema import AttributeKind
+from repro.dataset.io import (
+    parse_cell,
+    read_csv,
+    read_jsonl,
+    render_cell,
+    render_csv,
+    stream_csv,
+    stream_jsonl,
+    write_csv,
+    write_jsonl,
+)
+from repro.dataset.schema import Attribute, AttributeKind, AttributeRole, Schema
+from repro.dataset.table import Table
 from repro.exceptions import TableError
 
 
@@ -69,6 +83,143 @@ class TestRoundTrip:
     def test_nested_directory_created(self, simple_table, tmp_path):
         path = write_csv(simple_table, tmp_path / "deep" / "dir" / "t.csv")
         assert path.exists()
+
+
+_HEADER = "name,age\nidentifier:text,quasi_identifier:numeric\n"
+
+
+class TestStreamingEdgeCases:
+    """Edge cases surfaced by the chunked streaming reader.
+
+    The streaming and in-memory paths share one implementation, so each case
+    is asserted through both a file read and a line-at-a-time stream.
+    """
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("", encoding="utf-8")
+        with pytest.raises(TableError, match="header"):
+            read_csv(path)
+        with pytest.raises(TableError, match="header"):
+            stream_csv(iter([]))
+
+    def test_header_only_file_yields_empty_table(self, tmp_path):
+        path = tmp_path / "header.csv"
+        path.write_text(_HEADER, encoding="utf-8")
+        table = read_csv(path)
+        assert table.num_rows == 0
+        assert table.schema.names == ("name", "age")
+        streamed = stream_csv(iter(_HEADER.splitlines(keepends=True)), chunk_rows=1)
+        assert streamed == table
+
+    def test_trailing_newline_adds_no_phantom_row(self, tmp_path):
+        body = _HEADER + "ann,30\nbob,41\n\n"
+        path = tmp_path / "trailing.csv"
+        path.write_text(body, encoding="utf-8")
+        table = read_csv(path)
+        assert table.num_rows == 2
+        assert table.column("name") == ["ann", "bob"]
+        assert stream_csv(iter(body.splitlines(keepends=True)), chunk_rows=1) == table
+
+    def test_quoted_delimiters_in_object_cells(self, tmp_path):
+        schema = Schema(
+            [
+                Attribute("name", AttributeRole.IDENTIFIER, AttributeKind.TEXT),
+                Attribute("dept", AttributeRole.QUASI_IDENTIFIER, AttributeKind.CATEGORICAL),
+                Attribute("age", AttributeRole.QUASI_IDENTIFIER),
+            ]
+        )
+        table = Table(
+            schema,
+            {
+                "name": ['Smith, John', 'Quote "Q" Carter'],
+                "dept": [CategorySet(["CSE", "ECE"]), "Math"],
+                "age": [Interval(30, 40), 51],
+            },
+        )
+        text = render_csv(table)
+        loaded = stream_csv(io.StringIO(text))
+        assert loaded.column("name") == ["Smith, John", 'Quote "Q" Carter']
+        assert loaded.cell(0, "dept") == CategorySet(["CSE", "ECE"])
+        assert loaded.cell(0, "age") == Interval(30, 40)
+        # chunked streaming with the delimiter inside quotes agrees too
+        assert stream_csv(iter(text.splitlines(keepends=True)), chunk_rows=1) == loaded
+        assert read_csv(write_csv(table, tmp_path / "quoted.csv")) == loaded
+
+    def test_nan_round_trips_as_numeric_nan(self, tmp_path):
+        schema = Schema([Attribute("x", AttributeRole.QUASI_IDENTIFIER)])
+        table = Table(schema, {"x": [1.5, float("nan")]})
+        loaded = read_csv(write_csv(table, tmp_path / "nan.csv"))
+        assert loaded.cell(0, "x") == 1.5
+        assert isinstance(loaded.cell(1, "x"), float)
+        assert math.isnan(loaded.cell(1, "x"))
+
+    def test_infinities_round_trip(self):
+        assert parse_cell("inf", AttributeKind.NUMERIC) == float("inf")
+        assert parse_cell("-inf", AttributeKind.NUMERIC) == float("-inf")
+        assert render_cell(float("inf")) == "inf"
+        assert render_cell(float("-inf")) == "-inf"
+        assert parse_cell("inf", AttributeKind.TEXT) == "inf"
+
+    def test_chunk_rows_must_be_positive(self):
+        with pytest.raises(TableError):
+            stream_csv(io.StringIO(_HEADER), chunk_rows=0)
+
+
+class TestJsonl:
+    def test_round_trip(self, simple_table, tmp_path):
+        loaded = read_jsonl(write_jsonl(simple_table, tmp_path / "t.jsonl"))
+        assert loaded == simple_table
+        assert loaded.schema.names == simple_table.schema.names
+        assert loaded.schema.identifiers == simple_table.schema.identifiers
+
+    def test_generalized_cells_round_trip(self, simple_table, tmp_path):
+        release = simple_table.replace_column(
+            "age", [Interval(20, 30), SUPPRESSED, CategorySet(["a", "b"]), 44, 52, None]
+        )
+        loaded = read_jsonl(write_jsonl(release, tmp_path / "r.jsonl"))
+        assert loaded.cell(0, "age") == Interval(20, 30)
+        assert loaded.cell(1, "age") is SUPPRESSED
+        assert loaded.cell(2, "age") == CategorySet(["a", "b"])
+        assert loaded.cell(5, "age") is None
+
+    def test_text_that_looks_generalized_survives(self, tmp_path):
+        schema = Schema([Attribute("note", AttributeRole.IDENTIFIER, AttributeKind.TEXT)])
+        table = Table(schema, {"note": ["[1-3]", "*", "{a, b}"]})
+        loaded = read_jsonl(write_jsonl(table, tmp_path / "tricky.jsonl"))
+        assert loaded.column("note") == ["[1-3]", "*", "{a, b}"]
+
+    def test_missing_schema_line(self):
+        with pytest.raises(TableError, match="schema line"):
+            stream_jsonl(iter([]))
+        with pytest.raises(TableError, match="schema"):
+            stream_jsonl(io.StringIO('{"not_schema": []}\n'))
+
+    def test_invalid_rows(self):
+        header = '{"schema": [{"name": "x", "role": "quasi_identifier", "kind": "numeric"}]}\n'
+        with pytest.raises(TableError, match="line 2"):
+            stream_jsonl(io.StringIO(header + "not json\n"))
+        with pytest.raises(TableError, match="missing columns"):
+            stream_jsonl(io.StringIO(header + '{"y": 1}\n'))
+        with pytest.raises(TableError, match="JSON object"):
+            stream_jsonl(io.StringIO(header + "[1, 2]\n"))
+
+    def test_malformed_generalized_cells_raise_table_error(self):
+        header = '{"schema": [{"name": "x", "role": "quasi_identifier", "kind": "numeric"}]}\n'
+        for bad_cell in (
+            '{"interval": ["a", "b"]}',
+            '{"interval": 5}',
+            '{"categories": 3}',
+            '{"unknown_tag": 1}',
+        ):
+            with pytest.raises(TableError):
+                stream_jsonl(io.StringIO(header + '{"x": ' + bad_cell + "}\n"))
+
+    def test_blank_lines_are_skipped(self):
+        header = '{"schema": [{"name": "x", "role": "quasi_identifier", "kind": "numeric"}]}'
+        document = "\n" + header + "\n\n" + '{"x": 1}' + "\n\n" + '{"x": 2}' + "\n"
+        table = stream_jsonl(io.StringIO(document))
+        assert table.column("x") == [1, 2]
 
 
 class TestReadErrors:

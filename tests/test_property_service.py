@@ -1,0 +1,262 @@
+"""Property-based tests for the serving tier's substrate.
+
+Two families of invariants back the service:
+
+* **Streaming ≡ in-memory ingest** — parsing a CSV/JSONL document through
+  the chunked streaming readers (any chunk size, including one row at a
+  time) yields a table identical to parsing the whole document at once,
+  including NaN, ``None`` and generalized-interval cells.  The service's
+  upload path is exactly this code, so the property pins down registration
+  correctness for arbitrarily framed request bodies.
+* **Fingerprint semantics** — ``Table.fingerprint`` is invariant under
+  buffer-sharing operations (full projection, rename round trips, identity
+  gathers) and under rebuilding the same content from scratch, while any
+  cell edit changes it.  The service's whole cache keying relies on these
+  two directions.
+"""
+
+from __future__ import annotations
+
+import io
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataset.generalization import SUPPRESSED, CategorySet, Interval
+from repro.dataset.io import (
+    render_csv,
+    render_jsonl,
+    stream_csv,
+    stream_jsonl,
+)
+from repro.dataset.schema import Attribute, AttributeKind, AttributeRole, Schema
+from repro.dataset.table import Table
+
+# ---------------------------------------------------------------------------
+# Strategies.
+# ---------------------------------------------------------------------------
+
+# Text cells avoid leading/trailing whitespace and the empty string: the CSV
+# text format canonicalizes both away by design ("" round-trips to None).
+_texts = st.text(
+    alphabet=st.characters(whitelist_categories=("L", "Nd"), whitelist_characters=", -_"),
+    min_size=1,
+    max_size=12,
+).filter(lambda s: s == s.strip() and s != "")
+
+_plain_numbers = st.one_of(
+    st.integers(min_value=-(10**9), max_value=10**9),
+    st.floats(min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False),
+)
+
+
+def _interval_cells():
+    return st.tuples(
+        st.integers(min_value=-1000, max_value=1000),
+        st.integers(min_value=0, max_value=1000),
+    ).map(lambda pair: Interval(float(pair[0]), float(pair[0] + pair[1])))
+
+
+# Numeric quasi-identifier cells as the anonymization pipeline produces them:
+# plain numbers, NaN, missing values, generalized intervals, suppression.
+_numeric_cells = st.one_of(
+    _plain_numbers,
+    st.just(float("nan")),
+    st.none(),
+    _interval_cells(),
+    st.just(SUPPRESSED),
+)
+
+_categorical_cells = st.one_of(
+    _texts,
+    st.none(),
+    st.lists(_texts.filter(lambda s: "," not in s), min_size=1, max_size=3).map(CategorySet),
+    st.just(SUPPRESSED),
+)
+
+
+@st.composite
+def tables(draw):
+    rows = draw(st.integers(min_value=0, max_value=12))
+    schema = Schema(
+        [
+            Attribute("name", AttributeRole.IDENTIFIER, AttributeKind.TEXT),
+            Attribute("score", AttributeRole.QUASI_IDENTIFIER),
+            Attribute("group", AttributeRole.QUASI_IDENTIFIER, AttributeKind.CATEGORICAL),
+            Attribute("income", AttributeRole.SENSITIVE),
+        ]
+    )
+    return Table(
+        schema,
+        {
+            "name": draw(st.lists(_texts, min_size=rows, max_size=rows)),
+            "score": draw(st.lists(_numeric_cells, min_size=rows, max_size=rows)),
+            "group": draw(st.lists(_categorical_cells, min_size=rows, max_size=rows)),
+            "income": draw(st.lists(_plain_numbers, min_size=rows, max_size=rows)),
+        },
+    )
+
+
+def _lines_of(text: str) -> list[str]:
+    return text.splitlines(keepends=True)
+
+
+# ---------------------------------------------------------------------------
+# Streaming ingest ≡ in-memory ingest.
+# ---------------------------------------------------------------------------
+
+
+class TestStreamingEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(tables(), st.integers(min_value=1, max_value=7))
+    def test_csv_chunked_equals_in_memory(self, table, chunk_rows):
+        text = render_csv(table)
+        in_memory = stream_csv(io.StringIO(text))
+        chunked = stream_csv(iter(_lines_of(text)), chunk_rows=chunk_rows)
+        assert chunked == in_memory
+        assert chunked.fingerprint == in_memory.fingerprint
+        assert chunked.schema.names == in_memory.schema.names
+
+    @settings(max_examples=60, deadline=None)
+    @given(tables(), st.integers(min_value=1, max_value=7))
+    def test_jsonl_chunked_equals_in_memory(self, table, chunk_rows):
+        text = render_jsonl(table)
+        in_memory = stream_jsonl(io.StringIO(text))
+        chunked = stream_jsonl(iter(_lines_of(text)), chunk_rows=chunk_rows)
+        assert chunked == in_memory
+        assert chunked.fingerprint == in_memory.fingerprint
+
+    @settings(max_examples=40, deadline=None)
+    @given(tables())
+    def test_jsonl_round_trip_is_exact(self, table):
+        loaded = stream_jsonl(io.StringIO(render_jsonl(table)))
+        assert loaded == table
+        assert loaded.fingerprint == table.fingerprint
+
+    @settings(max_examples=40, deadline=None)
+    @given(tables())
+    def test_csv_round_trip_is_stable(self, table):
+        # CSV canonicalizes cell text, so one round trip may normalize cells
+        # (e.g. integral floats); a second round trip must be a fixed point.
+        once = stream_csv(io.StringIO(render_csv(table)))
+        twice = stream_csv(io.StringIO(render_csv(once)))
+        assert twice == once
+        assert twice.fingerprint == once.fingerprint
+
+
+# ---------------------------------------------------------------------------
+# Fingerprint invariants.
+# ---------------------------------------------------------------------------
+
+
+class TestFingerprintProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(tables())
+    def test_invariant_under_buffer_sharing_operations(self, table):
+        names = list(table.schema.names)
+        assert table.project(names).fingerprint == table.fingerprint
+        assert table.rename({}).fingerprint == table.fingerprint
+        round_trip = table.rename({"score": "s"}).rename({"s": "score"})
+        assert round_trip.fingerprint == table.fingerprint
+        assert table.take(list(range(table.num_rows))).fingerprint == table.fingerprint
+
+    @settings(max_examples=60, deadline=None)
+    @given(tables())
+    def test_rebuilt_content_shares_the_fingerprint(self, table):
+        rebuilt = Table(
+            table.schema, {name: table.column(name) for name in table.schema.names}
+        )
+        assert rebuilt.fingerprint == table.fingerprint
+        subset = table.project(["name", "score"])
+        fresh = Table(
+            table.schema.project(["name", "score"]),
+            {"name": table.column("name"), "score": table.column("score")},
+        )
+        assert subset.fingerprint == fresh.fingerprint
+
+    @settings(max_examples=60, deadline=None)
+    @given(tables(), st.data())
+    def test_any_cell_edit_changes_the_fingerprint(self, table, data):
+        if table.num_rows == 0:
+            return
+        row = data.draw(st.integers(min_value=0, max_value=table.num_rows - 1))
+        name = data.draw(st.sampled_from(list(table.schema.names)))
+        values = table.column(name)
+        original = values[row]
+        replacement = "\x00edited-cell\x00"
+        if isinstance(original, str) and original == replacement:
+            return
+        values[row] = replacement
+        edited = table.replace_column(name, values)
+        assert edited.fingerprint != table.fingerprint
+
+    @settings(max_examples=40, deadline=None)
+    @given(tables())
+    def test_renaming_a_column_changes_the_fingerprint(self, table):
+        renamed = table.rename({"score": "other_score"})
+        assert renamed.fingerprint != table.fingerprint
+
+    @settings(max_examples=40, deadline=None)
+    @given(tables())
+    def test_row_reorder_changes_the_fingerprint(self, table):
+        if table.num_rows < 2:
+            return
+        reversed_rows = table.take(list(range(table.num_rows - 1, -1, -1)))
+        if reversed_rows == table:  # palindromic content really is identical
+            assert reversed_rows.fingerprint == table.fingerprint
+        else:
+            assert reversed_rows.fingerprint != table.fingerprint
+
+    def test_nan_and_signed_zero_canonicalization(self):
+        schema = Schema([Attribute("x", AttributeRole.QUASI_IDENTIFIER)])
+        computed_nan = float("inf") - float("inf")
+        left = Table(schema, {"x": [0.0, float("nan")]})
+        right = Table(schema, {"x": [-0.0, computed_nan]})
+        assert math.isnan(computed_nan)
+        assert left.fingerprint == right.fingerprint
+
+    def test_int_and_float_storage_share_fingerprints(self):
+        schema = Schema([Attribute("x", AttributeRole.QUASI_IDENTIFIER)])
+        assert (
+            Table(schema, {"x": [1, 2, 3]}).fingerprint
+            == Table(schema, {"x": [1.0, 2.0, 3.0]}).fingerprint
+        )
+
+    def test_fingerprint_is_storage_independent_beyond_2_53(self):
+        import numpy as np
+
+        schema = Schema([Attribute("x", AttributeRole.QUASI_IDENTIFIER)])
+        for values in ([10**16, 2**54], [2**54 + 1, 5], [2**53 + 1, 0]):
+            typed = Table(schema, {"x": values})
+            boxed = Table(schema, {"x": np.array(values, dtype=object)})
+            assert typed == boxed
+            assert typed.fingerprint == boxed.fingerprint
+        # equal int/float cells in token columns agree too
+        left = Table(schema, {"x": np.array([10**16, None], dtype=object)})
+        right = Table(schema, {"x": np.array([1e16, None], dtype=object)})
+        assert left == right
+        assert left.fingerprint == right.fingerprint
+        # ...and exact big integers that differ still hash differently
+        assert (
+            Table(schema, {"x": [2**54 + 1, 0]}).fingerprint
+            != Table(schema, {"x": [2**54 + 2, 0]}).fingerprint
+        )
+
+    def test_int64_boundary_fingerprints_without_warnings(self):
+        import warnings
+
+        import numpy as np
+
+        schema = Schema([Attribute("x", AttributeRole.QUASI_IDENTIFIER)])
+        boundary = Table(schema, {"x": [2**63 - 1, -(2**63), 1]})
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            digest = boundary.fingerprint
+        assert len(digest) == 64
+        assert digest != Table(schema, {"x": [2**63 - 2, -(2**63), 1]}).fingerprint
+        # empty tables digest identically whether columns are typed or object
+        empty_typed = boundary.take([])
+        empty_object = Table(schema, {"x": []})
+        assert empty_typed == empty_object
+        assert empty_typed.fingerprint == empty_object.fingerprint

@@ -18,6 +18,7 @@ SUBPACKAGES = [
     "repro.core",
     "repro.data",
     "repro.experiments",
+    "repro.service",
 ]
 
 

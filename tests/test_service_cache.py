@@ -1,0 +1,155 @@
+"""Unit tests for the two-tier single-flight cache."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service.cache import TwoTierCache
+
+
+class TestMemoryTier:
+    def test_get_or_compute_computes_once(self):
+        cache = TwoTierCache(capacity=4)
+        calls = []
+        for _ in range(3):
+            value = cache.get_or_compute(("k",), lambda: calls.append(1) or "v")
+        assert value == "v"
+        assert len(calls) == 1
+        stats = cache.stats()
+        assert stats["computations"] == 1
+        assert stats["memory_hits"] == 2
+
+    def test_distinct_keys_compute_independently(self):
+        cache = TwoTierCache(capacity=8)
+        values = [cache.get_or_compute(("k", i), lambda i=i: i * 10) for i in range(4)]
+        assert values == [0, 10, 20, 30]
+        assert cache.stats()["computations"] == 4
+
+    def test_lru_eviction_order(self):
+        cache = TwoTierCache(capacity=2)
+        cache.get_or_compute(("a",), lambda: 1)
+        cache.get_or_compute(("b",), lambda: 2)
+        cache.get_or_compute(("a",), lambda: 1)  # refresh "a"
+        cache.get_or_compute(("c",), lambda: 3)  # evicts "b"
+        assert cache.get(("a",)) == 1
+        assert cache.get(("b",)) is None
+        assert cache.get(("c",)) == 3
+        assert len(cache) == 2
+
+    def test_failures_are_not_cached(self):
+        cache = TwoTierCache(capacity=4)
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) == 1:
+                raise ValueError("first try fails")
+            return "ok"
+
+        with pytest.raises(ValueError):
+            cache.get_or_compute(("k",), flaky)
+        assert cache.get_or_compute(("k",), flaky) == "ok"
+        assert len(attempts) == 2
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ServiceError):
+            TwoTierCache(capacity=0)
+
+
+class TestDiskTier:
+    def test_eviction_survives_via_spill(self, tmp_path):
+        cache = TwoTierCache(capacity=1, spill_dir=tmp_path)
+        cache.get_or_compute(("a",), lambda: {"payload": 1})
+        cache.get_or_compute(("b",), lambda: {"payload": 2})  # evicts "a" from memory
+        value = cache.get_or_compute(("a",), lambda: pytest.fail("must hit disk"))
+        assert value == {"payload": 1}
+        assert cache.stats()["disk_hits"] == 1
+
+    def test_spill_survives_restart(self, tmp_path):
+        first = TwoTierCache(capacity=4, spill_dir=tmp_path)
+        first.get_or_compute(("k", 3), lambda: [1, 2, 3])
+        second = TwoTierCache(capacity=4, spill_dir=tmp_path)
+        value = second.get_or_compute(("k", 3), lambda: pytest.fail("must hit disk"))
+        assert value == [1, 2, 3]
+        assert second.stats()["computations"] == 0
+
+    def test_plain_get_reads_disk(self, tmp_path):
+        first = TwoTierCache(capacity=4, spill_dir=tmp_path)
+        first.get_or_compute(("k",), lambda: "v")
+        second = TwoTierCache(capacity=4, spill_dir=tmp_path)
+        assert second.get(("k",)) == "v"
+        assert second.get(("missing",)) is None
+
+    def test_corrupt_spill_entry_is_ignored(self, tmp_path):
+        cache = TwoTierCache(capacity=4, spill_dir=tmp_path)
+        cache.get_or_compute(("k",), lambda: "v")
+        for entry in tmp_path.glob("*.pkl"):
+            entry.write_bytes(b"not a pickle")
+        fresh = TwoTierCache(capacity=4, spill_dir=tmp_path)
+        assert fresh.get_or_compute(("k",), lambda: "recomputed") == "recomputed"
+
+
+class TestSingleFlight:
+    def test_stampede_coalesces_onto_one_computation(self):
+        cache = TwoTierCache(capacity=4)
+        started = threading.Barrier(8)
+        computing = threading.Event()
+        release = threading.Event()
+        computations = []
+
+        def compute():
+            computations.append(threading.get_ident())
+            computing.set()
+            release.wait(timeout=30)
+            return "expensive"
+
+        results = [None] * 8
+
+        def worker(slot):
+            started.wait(timeout=30)
+            results[slot] = cache.get_or_compute(("hot",), compute)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        assert computing.wait(timeout=30)
+        release.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert results == ["expensive"] * 8
+        assert len(computations) == 1
+        stats = cache.stats()
+        assert stats["computations"] == 1
+        # The other 7 threads either coalesced onto the in-flight computation
+        # or arrived after it finished and hit the memory tier — never a
+        # second computation.
+        assert stats["coalesced_waits"] + stats["memory_hits"] == 7
+
+    def test_leader_failure_propagates_then_retries(self):
+        cache = TwoTierCache(capacity=4)
+        gate = threading.Event()
+        outcomes = []
+
+        def failing():
+            gate.wait(timeout=30)
+            raise RuntimeError("boom")
+
+        def worker():
+            try:
+                cache.get_or_compute(("k",), failing)
+            except RuntimeError as error:
+                outcomes.append(str(error))
+
+        threads = [threading.Thread(target=worker) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        gate.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        # The leader raised; waiters either saw the same error or retried and
+        # raised themselves — in every case the error reached all three.
+        assert outcomes == ["boom"] * 3
+        assert cache.get(("k",)) is None

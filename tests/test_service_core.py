@@ -1,0 +1,204 @@
+"""Tests of the anonymization service core (registry, releases, attack, jobs)."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.anonymize.kanonymity import is_k_anonymous
+from repro.dataset.io import render_csv, render_jsonl
+from repro.exceptions import ServiceError, UnknownDatasetError, UnknownJobError
+from repro.service import ALGORITHMS, AnonymizationService
+
+
+class TestRegistry:
+    def test_register_is_keyed_by_fingerprint(self, service, faculty_population):
+        table = faculty_population.private
+        info = service.register(table, label="faculty")
+        assert info["fingerprint"] == table.fingerprint
+        assert info["rows"] == table.num_rows
+        assert info["created"] is True
+        assert service.dataset(info["fingerprint"]) is table
+
+    def test_reregistering_identical_content_is_idempotent(self, service, simple_table):
+        first = service.register(simple_table)
+        clone = simple_table.project(list(simple_table.schema.names))
+        second = service.register(clone)
+        assert second["fingerprint"] == first["fingerprint"]
+        assert second["created"] is False
+        assert len(service.list_datasets()) == 1
+
+    def test_register_stream_csv_and_jsonl_agree(self, service, simple_table):
+        csv_info = service.register_stream(io.StringIO(render_csv(simple_table)), fmt="csv")
+        jsonl_info = service.register_stream(
+            io.StringIO(render_jsonl(simple_table)), fmt="jsonl"
+        )
+        assert csv_info["fingerprint"] == jsonl_info["fingerprint"]
+        assert jsonl_info["created"] is False
+
+    def test_unknown_format_and_empty_dataset_rejected(self, service, simple_table):
+        with pytest.raises(ServiceError):
+            service.register_stream(io.StringIO("x"), fmt="parquet")
+        empty = simple_table.take([])
+        with pytest.raises(ServiceError):
+            service.register(empty)
+
+    def test_unknown_fingerprint_raises(self, service):
+        with pytest.raises(UnknownDatasetError):
+            service.dataset("deadbeef")
+        with pytest.raises(UnknownDatasetError):
+            service.dataset_info("deadbeef")
+
+    def test_unregister_frees_the_slot(self, service, simple_table):
+        fingerprint = service.register(simple_table)["fingerprint"]
+        removed = service.unregister(fingerprint)
+        assert removed == {"fingerprint": fingerprint, "label": "", "removed": True}
+        assert service.list_datasets() == []
+        with pytest.raises(UnknownDatasetError):
+            service.unregister(fingerprint)
+        # re-registering the same content works again afterwards
+        assert service.register(simple_table)["created"] is True
+
+    def test_registry_capacity_cap(self, simple_table, faculty_population):
+        capped = AnonymizationService(max_datasets=1)
+        try:
+            capped.register(simple_table)
+            with pytest.raises(ServiceError, match="registry is full"):
+                capped.register(faculty_population.private)
+            capped.register(simple_table)  # idempotent re-register still fine
+            capped.unregister(simple_table.fingerprint)
+            capped.register(faculty_population.private)
+        finally:
+            capped.close()
+
+
+class TestReleases:
+    @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+    def test_release_every_algorithm(self, service, faculty_population, algorithm):
+        fingerprint = service.register(faculty_population.private)["fingerprint"]
+        artifact = service.release(fingerprint, 3, algorithm=algorithm)
+        assert artifact.algorithm == algorithm
+        assert artifact.table.num_rows == faculty_population.private.num_rows
+        assert "salary" not in artifact.table.schema
+        assert artifact.csv_text == render_csv(artifact.table)
+        if algorithm != "suppression":  # suppression merges leftovers into one * class
+            assert is_k_anonymous(artifact.table, 3)
+
+    def test_release_is_memoized(self, service, faculty_population):
+        fingerprint = service.register(faculty_population.private)["fingerprint"]
+        first = service.release(fingerprint, 4)
+        second = service.release(fingerprint, 4)
+        assert second is first
+        assert service.stats()["cache"]["computations"] == 1
+        third = service.release(fingerprint, 5)
+        assert third is not first
+        assert service.stats()["cache"]["computations"] == 2
+
+    def test_release_validation(self, service, faculty_population):
+        fingerprint = service.register(faculty_population.private)["fingerprint"]
+        with pytest.raises(ServiceError):
+            service.release(fingerprint, 3, algorithm="nonsense")
+        with pytest.raises(ServiceError):
+            service.release(fingerprint, 3, style="nonsense")
+        with pytest.raises(ServiceError):
+            service.release(fingerprint, 3, algorithm="datafly", style="centroid")
+        with pytest.raises(ServiceError):
+            service.release(fingerprint, "3")
+
+    def test_centroid_style(self, service, faculty_population):
+        fingerprint = service.register(faculty_population.private)["fingerprint"]
+        artifact = service.release(fingerprint, 4, style="centroid")
+        assert artifact.style == "centroid"
+        assert artifact.minimum_class_size >= 4
+
+
+class TestAttack:
+    def test_attack_estimates_and_memoization(
+        self, service, faculty_population, faculty_auxiliary_table
+    ):
+        fingerprint = service.register(faculty_population.private)["fingerprint"]
+        auxiliary = service.register(faculty_auxiliary_table)["fingerprint"]
+        result = service.attack(fingerprint, auxiliary, k=3)
+        low, high = faculty_population.assumed_salary_range
+        assert len(result["estimates"]) == faculty_population.private.num_rows
+        assert all(low <= value <= high for value in result["estimates"])
+        assert result["match_rate"] == 1.0
+
+        again = service.attack(fingerprint, auxiliary, k=3)
+        assert again is result
+        # two computations: the underlying release and the attack itself
+        assert service.stats()["cache"]["computations"] == 2
+
+    def test_attack_rejects_empty_range(
+        self, service, faculty_population, faculty_auxiliary_table
+    ):
+        fingerprint = service.register(faculty_population.private)["fingerprint"]
+        auxiliary = service.register(faculty_auxiliary_table)["fingerprint"]
+        with pytest.raises(ServiceError):
+            service.attack(
+                fingerprint, auxiliary, k=3, sensitive_low=10.0, sensitive_high=5.0
+            )
+
+    def test_all_nan_sensitive_column_needs_explicit_range(
+        self, service, simple_table, faculty_auxiliary_table
+    ):
+        blank = simple_table.replace_column("salary", [None] * simple_table.num_rows)
+        fingerprint = service.register(blank)["fingerprint"]
+        auxiliary = service.register(faculty_auxiliary_table)["fingerprint"]
+        with pytest.raises(ServiceError, match="no numeric values"):
+            service.attack(fingerprint, auxiliary, k=2)
+
+
+class TestFredJobs:
+    def test_fred_job_runs_and_is_memoized(
+        self, service, faculty_population, faculty_auxiliary_table
+    ):
+        fingerprint = service.register(faculty_population.private)["fingerprint"]
+        auxiliary = service.register(faculty_auxiliary_table)["fingerprint"]
+        job = service.start_fred(fingerprint, auxiliary, kmin=2, kmax=3)
+        snapshot = service.wait_for_job(job, timeout=120)
+        assert snapshot["status"] == "done"
+        result = snapshot["result"]
+        assert result["optimal_level"] in (2, 3)
+        assert [entry["level"] for entry in result["levels"]] == [2, 3]
+        assert set(result["scores"]) == {"2", "3"}
+
+        fred_computations = service.stats()["cache"]["computations"]
+        repeat = service.start_fred(fingerprint, auxiliary, kmin=2, kmax=3)
+        repeat_snapshot = service.wait_for_job(repeat, timeout=120)
+        assert repeat_snapshot["result"] == result
+        assert service.stats()["cache"]["computations"] == fred_computations
+
+    def test_fred_validation(self, service, faculty_population, faculty_auxiliary_table):
+        fingerprint = service.register(faculty_population.private)["fingerprint"]
+        auxiliary = service.register(faculty_auxiliary_table)["fingerprint"]
+        with pytest.raises(ServiceError):
+            service.start_fred(fingerprint, auxiliary, kmin=5, kmax=2)
+        with pytest.raises(ServiceError):
+            service.start_fred(fingerprint, auxiliary, algorithm="nonsense")
+        with pytest.raises(ServiceError, match="parallelism"):
+            service.start_fred(fingerprint, auxiliary, parallelism=0)
+        with pytest.raises(ServiceError, match="parallelism"):
+            service.start_fred(fingerprint, auxiliary, parallelism="4")
+        with pytest.raises(UnknownDatasetError):
+            service.start_fred(fingerprint, "missing")
+        with pytest.raises(UnknownJobError):
+            service.job_status("job-999")
+
+
+class TestLifecycle:
+    def test_stats_shape(self, service, simple_table):
+        service.register(simple_table)
+        stats = service.stats()
+        assert stats["datasets"] == 1
+        assert {"memory_hits", "misses", "computations"} <= set(stats["cache"])
+        assert stats["jobs"]["total"] == 0
+
+    def test_close_is_idempotent(self, simple_table):
+        instance = AnonymizationService()
+        instance.register(simple_table)
+        instance.close()
+        instance.close()
+        with pytest.raises(ServiceError):
+            instance._jobs.submit(lambda: None)

@@ -1,0 +1,260 @@
+"""End-to-end tests of the JSON/HTTP front end."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.dataset.io import render_csv, render_jsonl
+
+
+@pytest.fixture()
+def faculty_fingerprints(service_client, faculty_population, faculty_auxiliary_table):
+    """Register the faculty private + auxiliary tables over HTTP."""
+    status, _, body = service_client.post_raw(
+        "/datasets?label=faculty", render_csv(faculty_population.private).encode(), "text/csv"
+    )
+    assert status == 201
+    private = json.loads(body)["fingerprint"]
+    status, _, body = service_client.post_raw(
+        "/datasets", render_jsonl(faculty_auxiliary_table).encode(), "application/jsonl"
+    )
+    assert status == 201
+    auxiliary = json.loads(body)["fingerprint"]
+    return private, auxiliary
+
+
+class TestHealthAndStats:
+    def test_healthz(self, service_client):
+        status, document = service_client.get("/healthz")
+        assert (status, document) == (200, {"status": "ok"})
+
+    def test_stats_and_unknown_path(self, service_client):
+        status, document = service_client.get("/stats")
+        assert status == 200
+        assert document["datasets"] == 0
+        status, document = service_client.get("/no/such/path")
+        assert status == 404
+        assert "error" in document
+
+
+class TestDatasetEndpoints:
+    def test_streamed_csv_registration_in_small_chunks(
+        self, service_client, faculty_population, monkeypatch
+    ):
+        # Force the upload reader through many tiny socket chunks.
+        import repro.service.http as service_http
+
+        monkeypatch.setattr(service_http, "UPLOAD_CHUNK_BYTES", 17)
+        payload = render_csv(faculty_population.private).encode()
+        status, _, body = service_client.post_raw("/datasets", payload, "text/csv")
+        assert status == 201
+        info = json.loads(body)
+        assert info["fingerprint"] == faculty_population.private.fingerprint
+        assert info["rows"] == faculty_population.private.num_rows
+
+    def test_reupload_returns_200_not_created(self, service_client, simple_table):
+        payload = render_csv(simple_table).encode()
+        first, _, _ = service_client.post_raw("/datasets", payload, "text/csv")
+        second, _, body = service_client.post_raw("/datasets", payload, "text/csv")
+        assert (first, second) == (201, 200)
+        assert json.loads(body)["created"] is False
+
+    def test_jsonl_via_query_parameter(self, service_client, simple_table):
+        payload = render_jsonl(simple_table).encode()
+        status, _, body = service_client.post_raw(
+            "/datasets?format=jsonl", payload, "text/plain"
+        )
+        assert status == 201
+        assert json.loads(body)["fingerprint"] == simple_table.fingerprint
+
+    def test_delete_unregisters_a_dataset(self, service_client, simple_table):
+        import urllib.request
+
+        payload = render_csv(simple_table).encode()
+        _, _, body = service_client.post_raw("/datasets", payload, "text/csv")
+        fingerprint = json.loads(body)["fingerprint"]
+        request = urllib.request.Request(
+            f"{service_client.base}/datasets/{fingerprint}", method="DELETE"
+        )
+        status, _, reply = service_client._open(request)
+        assert status == 200
+        assert json.loads(reply)["removed"] is True
+        status, listing = service_client.get("/datasets")
+        assert listing["datasets"] == []
+        status, _, _ = service_client._open(request)  # second delete -> 404
+        assert status == 404
+
+    def test_dataset_listing_and_lookup(self, service_client, simple_table):
+        payload = render_csv(simple_table).encode()
+        _, _, body = service_client.post_raw("/datasets?label=demo", payload, "text/csv")
+        fingerprint = json.loads(body)["fingerprint"]
+        status, listing = service_client.get("/datasets")
+        assert status == 200
+        assert [d["fingerprint"] for d in listing["datasets"]] == [fingerprint]
+        status, info = service_client.get(f"/datasets/{fingerprint}")
+        assert status == 200
+        assert info["label"] == "demo"
+        status, _ = service_client.get("/datasets/unknown")
+        assert status == 404
+
+    def test_malformed_uploads(self, service_client):
+        status, _, body = service_client.post_raw("/datasets", b"", "text/csv")
+        assert status == 400
+        status, _, body = service_client.post_raw(
+            "/datasets", b"only-one-line\n", "text/csv"
+        )
+        assert status == 400
+        assert "header" in json.loads(body)["error"]
+
+    def test_rejected_upload_closes_the_connection(self, service_client, simple_table):
+        """An error mid-body must not leave a desynced keep-alive connection."""
+        import http.client
+
+        bad = "a,b\nidentifier:text\n" + "1,2\n" * 50  # header mismatch + body
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", service_client.server.port, timeout=30
+        )
+        try:
+            connection.request(
+                "POST", "/datasets", body=bad.encode(), headers={"Content-Type": "text/csv"}
+            )
+            response = connection.getresponse()
+            assert response.status == 400
+            assert response.headers.get("Connection") == "close"
+            response.read()
+        finally:
+            connection.close()
+        # the server is still healthy for new connections
+        status, document = service_client.get("/healthz")
+        assert (status, document) == (200, {"status": "ok"})
+
+    def test_non_utf8_upload_is_rejected_not_mangled(self, service_client):
+        body = "name\nidentifier:text\nJos\xe9\n".encode("latin-1")
+        status, _, reply = service_client.post_raw("/datasets", body, "text/csv")
+        assert status == 400
+        assert "UTF-8" in json.loads(reply)["error"]
+        _, listing = service_client.get("/datasets")
+        assert listing["datasets"] == []
+
+    def test_truncated_upload_is_rejected_not_registered(
+        self, service_client, simple_table
+    ):
+        """A body shorter than Content-Length must not register a half-dataset."""
+        import http.client
+
+        payload = render_csv(simple_table).encode()
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", service_client.server.port, timeout=30
+        )
+        try:
+            connection.putrequest("POST", "/datasets")
+            connection.putheader("Content-Type", "text/csv")
+            connection.putheader("Content-Length", str(len(payload) + 500))
+            connection.endheaders()
+            connection.send(payload)  # 500 promised bytes never arrive
+            connection.close()  # half-close; the server sees EOF mid-body
+        finally:
+            connection.close()
+        status, listing = service_client.get("/datasets")
+        assert status == 200
+        assert listing["datasets"] == [], "truncated upload must not be registered"
+
+
+class TestReleaseEndpoint:
+    def test_csv_reply_and_cache_hit(self, service_client, faculty_fingerprints):
+        private, _ = faculty_fingerprints
+        status, headers, first = service_client.post_json(
+            "/release", {"dataset": private, "k": 3}
+        )
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/csv")
+        status, _, second = service_client.post_json(
+            "/release", {"dataset": private, "k": 3}
+        )
+        assert first == second
+        stats = service_client.server.service.stats()
+        assert stats["cache"]["computations"] == 1
+        assert stats["cache"]["memory_hits"] >= 1
+
+    def test_json_reply(self, service_client, faculty_fingerprints):
+        private, _ = faculty_fingerprints
+        status, _, body = service_client.post_json(
+            "/release", {"dataset": private, "k": 3, "format": "json"}
+        )
+        assert status == 200
+        document = json.loads(body)
+        assert document["minimum_class_size"] >= 3
+        assert len(document["rows_data"]) == 40
+        assert all("name" in row for row in document["rows_data"])
+
+    def test_error_mapping(self, service_client, faculty_fingerprints):
+        private, _ = faculty_fingerprints
+        status, _, _ = service_client.post_json("/release", {"dataset": "nope", "k": 3})
+        assert status == 404
+        status, _, _ = service_client.post_json(
+            "/release", {"dataset": private, "k": 10_000}
+        )
+        assert status == 400  # infeasible k -> AnonymizationError -> 400
+        status, _, _ = service_client.post_json("/release", {"dataset": private})
+        assert status == 400  # missing k
+        status, _, body = service_client.post_raw(
+            "/release", b"not json", "application/json"
+        )
+        assert status == 400
+
+
+class TestAttackEndpoint:
+    def test_attack_over_http(self, service_client, faculty_fingerprints, faculty_population):
+        private, auxiliary = faculty_fingerprints
+        status, _, body = service_client.post_json(
+            "/attack", {"dataset": private, "auxiliary": auxiliary, "k": 3}
+        )
+        assert status == 200
+        document = json.loads(body)
+        low, high = faculty_population.assumed_salary_range
+        assert len(document["estimates"]) == 40
+        assert all(low <= value <= high for value in document["estimates"])
+        assert document["match_rate"] == 1.0
+
+
+class TestFredEndpoint:
+    def test_fred_job_lifecycle(self, service_client, faculty_fingerprints):
+        private, auxiliary = faculty_fingerprints
+        status, _, body = service_client.post_json(
+            "/fred",
+            {"dataset": private, "auxiliary": auxiliary, "kmin": 2, "kmax": 3},
+        )
+        assert status == 202
+        ticket = json.loads(body)
+        job = ticket["job"]
+        assert ticket["poll"] == f"/jobs/{job}"
+
+        deadline = time.monotonic() + 120
+        while True:
+            status, snapshot = service_client.get(f"/jobs/{job}")
+            assert status == 200
+            if snapshot["status"] in ("done", "failed"):
+                break
+            assert time.monotonic() < deadline, "job did not finish in time"
+            time.sleep(0.05)
+        assert snapshot["status"] == "done"
+        assert snapshot["result"]["optimal_level"] in (2, 3)
+
+    def test_unknown_job_is_404(self, service_client):
+        status, _ = service_client.get("/jobs/job-404")
+        assert status == 404
+
+    def test_malformed_numeric_fields_are_400_not_500(
+        self, service_client, faculty_fingerprints
+    ):
+        private, auxiliary = faculty_fingerprints
+        for bad_body in (
+            {"dataset": private, "auxiliary": auxiliary, "kmin": "abc"},
+            {"dataset": private, "auxiliary": auxiliary, "protection_weight": "x"},
+            {"dataset": private, "auxiliary": auxiliary, "parallelism": 0},
+        ):
+            status, _, body = service_client.post_json("/fred", bad_body)
+            assert status == 400, json.loads(body)
