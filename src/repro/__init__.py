@@ -11,7 +11,10 @@ The package provides:
 * :mod:`repro.fuzzy` — the Mamdani / Sugeno fuzzy-inference engines used as
   the information-fusion system;
 * :mod:`repro.fusion` — the Web-Based Information-Fusion Attack: simulated web
-  corpus, record linkage, attack pipeline and baseline estimators;
+  corpus, attack pipeline and baseline estimators;
+* :mod:`repro.linkage` — the batched record-linkage engine: normalization,
+  q-gram blocking and vectorized similarity kernels behind the attack's
+  harvest step;
 * :mod:`repro.metrics` — dissimilarity, discernibility utility, information
   gain and breach metrics;
 * :mod:`repro.core` — the FRED (Fusion Resilient Enterprise Data) optimizer;
@@ -66,6 +69,7 @@ from repro.fusion import (
     WebFusionAttack,
 )
 from repro.fuzzy import FuzzyRule, LinguisticVariable, MamdaniSystem, SugenoSystem, parse_rules
+from repro.linkage import LinkageIndex
 from repro.metrics import (
     breach_rate,
     discernibility_utility,
@@ -109,6 +113,8 @@ __all__ = [
     "AttackResult",
     "WebFusionAttack",
     "SimulatedWebCorpus",
+    # linkage
+    "LinkageIndex",
     # metrics
     "mean_square_dissimilarity",
     "dissimilarity_before_fusion",

@@ -9,7 +9,10 @@ header lines: column names, then ``role:kind`` declarations):
   dropped);
 * ``repro attack``     — run the web-based information-fusion attack against a
   release, using an auxiliary CSV as the harvested web data, and write the
-  per-record sensitive-attribute estimates;
+  per-record sensitive-attribute estimates; ``--linkage-threshold`` switches
+  the name lookup from exact to approximate record linkage (with
+  ``--blocking`` / ``--qgram-size`` knobs), for auxiliary CSVs holding
+  scraped web-name spellings;
 * ``repro fred``       — run the FRED sweep on a private table plus auxiliary
   CSV and report the selected anonymization level (optionally writing the
   chosen release);
@@ -48,6 +51,7 @@ from repro.dataset.table import Table
 from repro.exceptions import ReproError
 from repro.fusion.attack import AttackConfig, WebFusionAttack
 from repro.fusion.auxiliary import TableAuxiliarySource
+from repro.linkage import BLOCKING_SCHEMES
 
 __all__ = ["main", "build_parser"]
 
@@ -94,6 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument(
         "--engine", choices=("mamdani", "sugeno"), default="mamdani", help="fusion engine"
     )
+    _add_linkage_arguments(attack)
 
     fred = subparsers.add_parser("fred", help="run the FRED sweep on a private CSV table")
     fred.add_argument("--input", type=Path, required=True, help="private table CSV")
@@ -114,6 +119,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="number of anonymization levels to evaluate concurrently",
     )
+    _add_linkage_arguments(fred)
 
     serve = subparsers.add_parser(
         "serve",
@@ -143,9 +149,39 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _auxiliary_source(path: Path, name_column: str) -> TableAuxiliarySource:
+def _add_linkage_arguments(parser: argparse.ArgumentParser) -> None:
+    """Record-linkage knobs shared by ``attack`` and ``fred``."""
+    parser.add_argument(
+        "--linkage-threshold",
+        type=float,
+        default=None,
+        help="minimum composite name similarity for an auxiliary row to match; "
+        "omit for exact name lookups",
+    )
+    parser.add_argument(
+        "--blocking",
+        choices=BLOCKING_SCHEMES,
+        default="qgram",
+        help="candidate blocking scheme of the linkage index "
+        "(only used with --linkage-threshold)",
+    )
+    parser.add_argument(
+        "--qgram-size",
+        type=int,
+        default=2,
+        help="character q-gram width of the 'qgram' blocking scheme",
+    )
+
+
+def _auxiliary_source(path: Path, arguments: argparse.Namespace) -> TableAuxiliarySource:
     auxiliary = read_csv(path)
-    return TableAuxiliarySource(table=auxiliary, name_column=name_column)
+    return TableAuxiliarySource(
+        table=auxiliary,
+        name_column=arguments.name_column,
+        linkage_threshold=arguments.linkage_threshold,
+        blocking=arguments.blocking,
+        qgram_size=arguments.qgram_size,
+    )
 
 
 def _attack_config(
@@ -186,7 +222,7 @@ def _command_attack(arguments: argparse.Namespace) -> int:
     if arguments.sensitive_low >= arguments.sensitive_high:
         raise ReproError("--sensitive-low must be below --sensitive-high")
     release = read_csv(arguments.release)
-    source = _auxiliary_source(arguments.auxiliary, arguments.name_column)
+    source = _auxiliary_source(arguments.auxiliary, arguments)
     config = _attack_config(
         release,
         source,
@@ -221,7 +257,7 @@ def _command_attack(arguments: argparse.Namespace) -> int:
 
 def _command_fred(arguments: argparse.Namespace) -> int:
     private = read_csv(arguments.input)
-    source = _auxiliary_source(arguments.auxiliary, arguments.name_column)
+    source = _auxiliary_source(arguments.auxiliary, arguments)
     sensitive = private.sensitive_vector()
     low = arguments.sensitive_low
     high = arguments.sensitive_high

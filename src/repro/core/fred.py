@@ -35,6 +35,20 @@ and, when ``stop_below_utility`` is set, truncated after the first level whose
 utility falls below ``Tu``, so a parallel sweep returns exactly the outcomes a
 serial sweep would (levels past the stopping point are evaluated
 speculatively and discarded).
+
+Sweep-wide harvest reuse
+------------------------
+Step 1 of the simulated attack — linking release identifiers to auxiliary
+records — depends only on the identifier column and the auxiliary source,
+never on the anonymization level (anonymizers preserve rows and row order;
+see :mod:`repro.anonymize.base`).  The sweep therefore harvests **once**:
+:meth:`FREDAnonymizer.harvest` resolves the whole identifier column through
+the batched linkage engine (:mod:`repro.linkage`), and the resulting
+``(records, table)`` pair is shared read-only across every level evaluation,
+serial or parallel.  A sweep over ``L`` levels pays the linkage cost once
+instead of ``L`` times; callers holding a memoized harvest (the service
+cache) can inject it via the ``harvest`` parameter of :meth:`sweep`/:meth:`run`
+and skip linkage entirely.
 """
 
 from __future__ import annotations
@@ -98,6 +112,11 @@ class FREDConfig:
         vectorized fusion kernels spend their time in numpy, which releases
         the GIL) or ``"process"`` (requires the anonymizer, auxiliary source
         and attack factory to be picklable).
+    reuse_harvest:
+        Harvest the auxiliary source once per sweep and share the result
+        across every level (the harvest is level-independent; see the module
+        docstring).  Disable to re-harvest at every level — only useful for
+        adversary ablations whose attack factory varies the source per level.
     """
 
     levels: tuple[int, ...] = tuple(range(2, 17))
@@ -108,6 +127,7 @@ class FREDConfig:
     stop_below_utility: bool = True
     parallelism: int = 1
     executor: str = "thread"
+    reuse_harvest: bool = True
 
     def __post_init__(self) -> None:
         if not self.levels:
@@ -239,6 +259,9 @@ class FREDResult:
 class _DefaultAttackFactory:
     """Builds the standard attack for each level.
 
+    Every attack it builds shares the same auxiliary ``source`` object, so the
+    corpus's :class:`~repro.linkage.LinkageIndex` is constructed once and the
+    sweep-wide harvest produced through one attack is valid for all of them.
     A module-level class (rather than a closure) so a ``FREDAnonymizer`` stays
     picklable for ``executor="process"`` sweeps.
     """
@@ -282,12 +305,35 @@ class FREDAnonymizer:
             source, attack_config
         )
 
+    # Harvest (level-independent) -------------------------------------------------
+
+    def harvest(self, private: Table) -> tuple[list, Table]:
+        """Run the linkage/harvest step once for a private table.
+
+        Anonymizers preserve rows and row order, so the release identifier
+        column equals the private table's at every level — one harvest serves
+        the whole sweep.  The harvest is produced through the attack factory,
+        so custom adversaries keep control of how names are resolved.
+        """
+        names = [str(n) for n in private.identifier_column()]
+        return self._attack_factory().harvest(names)
+
     # Single-level evaluation -----------------------------------------------------
 
-    def evaluate_level(self, private: Table, level: int) -> LevelOutcome:
-        """Anonymize to one level, simulate the attack, and measure everything."""
+    def evaluate_level(
+        self,
+        private: Table,
+        level: int,
+        harvest: tuple[list, Table] | None = None,
+    ) -> LevelOutcome:
+        """Anonymize to one level, simulate the attack, and measure everything.
+
+        ``harvest`` injects the precomputed (level-independent) harvest; when
+        omitted the attack harvests on the fly, as a standalone evaluation
+        should.
+        """
         anonymization = self.config.anonymizer.anonymize(private, level)
-        attack = self._attack_factory().run(anonymization.release)
+        attack = self._attack_factory().run(anonymization.release, harvest=harvest)
         assumed_range = self.attack_config.output_universe
         before = dissimilarity_before_fusion(
             private, anonymization.release, assumed_range
@@ -318,8 +364,18 @@ class FREDAnonymizer:
 
     # Full sweep ------------------------------------------------------------------
 
-    def sweep(self, private: Table, levels: Iterable[int] | None = None) -> list[LevelOutcome]:
+    def sweep(
+        self,
+        private: Table,
+        levels: Iterable[int] | None = None,
+        harvest: tuple[list, Table] | None = None,
+    ) -> list[LevelOutcome]:
         """Evaluate every level (honouring the utility stopping rule).
+
+        The level-independent harvest is resolved **once** — taken from the
+        ``harvest`` argument when provided (e.g. the service's memoized
+        harvest), otherwise computed up front via :meth:`harvest` — and shared
+        read-only by every level evaluation.
 
         With ``config.parallelism > 1`` the per-level evaluations — which are
         independent jobs — run concurrently on a ``concurrent.futures`` pool
@@ -328,24 +384,34 @@ class FREDAnonymizer:
         identical to a serial sweep's.
         """
         sweep_levels = list(levels if levels is not None else self.config.levels)
+        if harvest is None and self.config.reuse_harvest:
+            harvest = self.harvest(private)
         if self.config.parallelism <= 1 or len(sweep_levels) <= 1:
-            outcomes_in_order = self._sweep_serial(private, sweep_levels)
+            outcomes_in_order = self._sweep_serial(private, sweep_levels, harvest)
         else:
-            outcomes_in_order = self._sweep_parallel(private, sweep_levels)
+            outcomes_in_order = self._sweep_parallel(private, sweep_levels, harvest)
         return self._apply_stop_rule(outcomes_in_order)
 
-    def _sweep_serial(self, private: Table, levels: Sequence[int]) -> list[LevelOutcome]:
+    def _sweep_serial(
+        self,
+        private: Table,
+        levels: Sequence[int],
+        harvest: tuple[list, Table] | None,
+    ) -> list[LevelOutcome]:
         """Evaluate levels one after another, honouring early stopping."""
         outcomes: list[LevelOutcome] = []
         for level in levels:
-            outcome = self.evaluate_level(private, level)
+            outcome = self.evaluate_level(private, level, harvest=harvest)
             outcomes.append(outcome)
             if self._stops_sweep(outcome):
                 break
         return outcomes
 
     def _sweep_parallel(
-        self, private: Table, levels: Sequence[int]
+        self,
+        private: Table,
+        levels: Sequence[int],
+        harvest: tuple[list, Table] | None,
     ) -> list[LevelOutcome | BaseException]:
         """Evaluate all levels concurrently; results come back in level order.
 
@@ -363,7 +429,9 @@ class FREDAnonymizer:
         else:
             pool = ThreadPoolExecutor(max_workers=workers)
         with pool:
-            futures = [pool.submit(self.evaluate_level, private, k) for k in levels]
+            futures = [
+                pool.submit(self.evaluate_level, private, k, harvest) for k in levels
+            ]
             results: list[LevelOutcome | BaseException] = []
             for future in futures:
                 try:
@@ -398,9 +466,15 @@ class FREDAnonymizer:
                 break
         return merged
 
-    def run(self, private: Table) -> FREDResult:
-        """Execute the full FRED optimization and return the sweep trace."""
-        outcomes = self.sweep(private)
+    def run(
+        self, private: Table, harvest: tuple[list, Table] | None = None
+    ) -> FREDResult:
+        """Execute the full FRED optimization and return the sweep trace.
+
+        ``harvest`` optionally injects a precomputed harvest (see
+        :meth:`sweep`); otherwise the sweep harvests exactly once.
+        """
+        outcomes = self.sweep(private, harvest=harvest)
         if not outcomes:
             raise FREDInfeasibleError("the sweep evaluated no levels")
 

@@ -5,6 +5,7 @@ from repro.fusion.attack import (
     AttackResult,
     WebFusionAttack,
     build_income_fusion_system,
+    harvest_auxiliary,
 )
 from repro.fusion.auxiliary import (
     AuxiliaryRecord,
@@ -39,6 +40,7 @@ __all__ = [
     "AttackResult",
     "WebFusionAttack",
     "build_income_fusion_system",
+    "harvest_auxiliary",
     "AuxiliaryRecord",
     "AuxiliarySource",
     "TableAuxiliarySource",

@@ -54,7 +54,13 @@ from repro.fuzzy.rules import FuzzyRule, parse_rules
 from repro.fuzzy.tsk import SugenoSystem
 from repro.fuzzy.variables import LinguisticVariable
 
-__all__ = ["AttackConfig", "AttackResult", "WebFusionAttack", "build_income_fusion_system"]
+__all__ = [
+    "AttackConfig",
+    "AttackResult",
+    "WebFusionAttack",
+    "build_income_fusion_system",
+    "harvest_auxiliary",
+]
 
 _DEFAULT_TERMS = ("low", "medium", "high")
 
@@ -163,6 +169,40 @@ class AttackResult:
         return sum(self.matched) / len(self.matched)
 
 
+def harvest_auxiliary(
+    source: AuxiliarySource,
+    names: Sequence[str],
+    attribute_names: Sequence[str],
+) -> tuple[list[AuxiliaryRecord | None], Table]:
+    """Resolve every name against the auxiliary source in one batched pass.
+
+    This is step 1 of the attack (and its linkage-dominated hot path): the
+    whole identifier column goes through
+    :meth:`~repro.fusion.auxiliary.AuxiliarySource.lookup_many`, so a source
+    backed by a :class:`~repro.linkage.LinkageIndex` amortizes blocking and
+    batch scoring across the release.  Returns the per-name best records
+    (``None`` where nothing linked) plus the harvested auxiliary table
+    (paper Table IV).  The harvest depends only on the identifier column and
+    the source — not on the anonymization level — so callers sweeping levels
+    (FRED, the service) compute it once and pass it to
+    :meth:`WebFusionAttack.run`.
+    """
+    queried = [str(name) for name in names]
+    harvested = source.lookup_many(queried)
+    found = [
+        AuxiliaryRecord(
+            name=name,
+            attributes=record.attributes,
+            confidence=record.confidence,
+            source=record.source,
+        )
+        for name, record in zip(queried, harvested)
+        if record is not None
+    ]
+    table = auxiliary_table(found, list(attribute_names))
+    return harvested, table
+
+
 def build_income_fusion_system(
     input_variables: Mapping[str, LinguisticVariable],
     output_variable: LinguisticVariable,
@@ -203,23 +243,12 @@ class WebFusionAttack:
     # Pipeline steps -------------------------------------------------------------
 
     def harvest(self, names: Sequence[str]) -> tuple[list[AuxiliaryRecord | None], Table]:
-        """Query the auxiliary source for every name; best record or ``None`` each."""
-        harvested: list[AuxiliaryRecord | None] = []
-        found: list[AuxiliaryRecord] = []
-        for name in names:
-            record = self.source.lookup(str(name))
-            harvested.append(record)
-            if record is not None:
-                found.append(
-                    AuxiliaryRecord(
-                        name=str(name),
-                        attributes=record.attributes,
-                        confidence=record.confidence,
-                        source=record.source,
-                    )
-                )
-        table = auxiliary_table(found, list(self.config.auxiliary_inputs))
-        return harvested, table
+        """Query the auxiliary source for every name; best record or ``None`` each.
+
+        Delegates to :func:`harvest_auxiliary`, which resolves the whole name
+        batch through the source's batched lookup path.
+        """
+        return harvest_auxiliary(self.source, names, self.config.auxiliary_inputs)
 
     def assemble_columns(
         self, release: Table, harvested: Sequence[AuxiliaryRecord | None]
@@ -317,15 +346,41 @@ class WebFusionAttack:
 
     # End-to-end ---------------------------------------------------------------------
 
-    def run(self, release: Table) -> AttackResult:
+    def run(
+        self,
+        release: Table,
+        harvest: tuple[list[AuxiliaryRecord | None], Table] | None = None,
+    ) -> AttackResult:
         """Execute the attack on a release and return the adversary's estimates.
 
         The fusion inputs are assembled and evaluated column-wise (see the
         module docstring's *Batch data layout*); the per-record dict view is
         derived from the same columns for :attr:`AttackResult.records`.
+
+        ``harvest`` injects a precomputed harvest (the ``(records, table)``
+        pair returned by :meth:`harvest` / :func:`harvest_auxiliary` for this
+        release's identifier column).  The harvest is level-independent, so
+        FRED sweeps and the service compute it once and reuse it across every
+        release of the same dataset.
         """
         names = [str(n) for n in release.identifier_column()]
-        harvested, harvested_table = self.harvest(names)
+        if harvest is None:
+            harvest = self.harvest(names)
+        harvested, harvested_table = harvest
+        if len(harvested) != len(names):
+            raise AttackConfigurationError(
+                f"precomputed harvest covers {len(harvested)} names but the "
+                f"release has {len(names)} records"
+            )
+        # The harvested table's identifier column holds the queried names in
+        # match order; it must agree with this release's matched rows, or the
+        # harvest was built for a different (e.g. row-reordered) release.
+        matched_names = [n for n, record in zip(names, harvested) if record is not None]
+        if matched_names != [str(n) for n in harvested_table.identifier_column()]:
+            raise AttackConfigurationError(
+                "precomputed harvest does not align with the release's "
+                "identifier column (was it harvested for a different row order?)"
+            )
         columns = self.assemble_columns(release, harvested)
         records = columns_to_records(columns)
 

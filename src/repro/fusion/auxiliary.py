@@ -16,6 +16,7 @@ from typing import Mapping, Sequence
 from repro.dataset.schema import Attribute, AttributeKind, AttributeRole, Schema
 from repro.dataset.table import Table
 from repro.exceptions import AuxiliarySourceError
+from repro.linkage.index import LinkageIndex
 
 __all__ = ["AuxiliaryRecord", "AuxiliarySource", "TableAuxiliarySource", "auxiliary_table"]
 
@@ -72,6 +73,24 @@ class AuxiliarySource(abc.ABC):
         records = self.search(name)
         return records[0] if records else None
 
+    def search_many(self, names: Sequence[str]) -> list[list[AuxiliaryRecord]]:
+        """Search results for every name, in name order.
+
+        The default loops over :meth:`search`; sources backed by a batched
+        linkage engine override this (or :meth:`lookup_many`) to resolve the
+        whole batch in one pass.
+        """
+        return [self.search(str(name)) for name in names]
+
+    def lookup_many(self, names: Sequence[str]) -> list[AuxiliaryRecord | None]:
+        """The best record per name (``None`` where nothing is found).
+
+        This is the harvest entry point: the attack resolves a release's whole
+        identifier column through one call, so a batched source pays its
+        linkage cost once per corpus instead of once per (name, level) pair.
+        """
+        return [records[0] if records else None for records in self.search_many(names)]
+
 
 @dataclass
 class TableAuxiliarySource(AuxiliarySource):
@@ -79,11 +98,36 @@ class TableAuxiliarySource(AuxiliarySource):
 
     Useful for loading previously harvested auxiliary data from CSV (via
     :func:`repro.dataset.io.read_csv`) and replaying an attack offline.
+
+    By default names are looked up **exactly** (the table is assumed to be
+    keyed by the same spellings the release uses).  Setting
+    ``linkage_threshold`` switches the source to approximate record linkage:
+    a :class:`~repro.linkage.LinkageIndex` is built over the name column once
+    and queries resolve through blocked, batched similarity scoring — the
+    right mode when the auxiliary CSV holds scraped web names.
+
+    Parameters
+    ----------
+    table:
+        The auxiliary table.
+    name_column:
+        The identifier column the table is keyed by.
+    attribute_names:
+        Harvestable numeric attributes (default: every numeric column except
+        the name column).
+    linkage_threshold:
+        When set, minimum composite name similarity for a row to match;
+        ``None`` (default) keeps exact lookups.
+    blocking / qgram_size:
+        Blocking knobs of the linkage index (approximate mode only).
     """
 
     table: Table
     name_column: str
     attribute_names: tuple[str, ...] = field(default_factory=tuple)
+    linkage_threshold: float | None = None
+    blocking: str = "qgram"
+    qgram_size: int = 2
 
     def __post_init__(self) -> None:
         if self.name_column not in self.table.schema:
@@ -96,20 +140,59 @@ class TableAuxiliarySource(AuxiliarySource):
                 for attribute in self.table.schema.attributes
                 if attribute.name != self.name_column and attribute.is_numeric
             )
-        self._by_name = {
-            str(row[self.name_column]): row for row in self.table.rows()
-        }
+        self._rows = list(self.table.rows())
+        self._by_name = {str(row[self.name_column]): row for row in self._rows}
+        self._index: LinkageIndex | None = None
+        if self.linkage_threshold is not None:
+            self._index = LinkageIndex(
+                [str(row[self.name_column]) for row in self._rows],
+                threshold=self.linkage_threshold,
+                blocking=self.blocking,
+                qgram_size=self.qgram_size,
+            )
 
-    def search(self, name: str) -> list[AuxiliaryRecord]:
-        row = self._by_name.get(str(name))
-        if row is None:
-            return []
+    def _record_from_row(
+        self, row: Mapping[str, object], name: str, confidence: float = 1.0
+    ) -> AuxiliaryRecord:
         attributes = {
             attribute_name: row[attribute_name]
             for attribute_name in self.attribute_names
             if row.get(attribute_name) is not None
         }
-        return [AuxiliaryRecord(name=str(name), attributes=attributes, source="table")]
+        return AuxiliaryRecord(
+            name=name, attributes=attributes, confidence=confidence, source="table"
+        )
+
+    def search(self, name: str) -> list[AuxiliaryRecord]:
+        if self._index is None:
+            row = self._by_name.get(str(name))
+            if row is None:
+                return []
+            return [self._record_from_row(row, str(name))]
+        return [
+            self._record_from_row(
+                self._rows[match.candidate_index],
+                match.candidate,
+                confidence=min(match.score, 1.0),
+            )
+            for match in self._index.candidates(str(name))
+        ]
+
+    def lookup_many(self, names: Sequence[str]) -> list[AuxiliaryRecord | None]:
+        """Best record per name; approximate mode resolves the batch at once."""
+        if self._index is None:
+            return super().lookup_many(names)
+        matches = self._index.match_many([str(name) for name in names])
+        return [
+            None
+            if match is None
+            else self._record_from_row(
+                self._rows[match.candidate_index],
+                match.candidate,
+                confidence=min(match.score, 1.0),
+            )
+            for match in matches
+        ]
 
 
 def auxiliary_table(records: Sequence[AuxiliaryRecord], attribute_names: Sequence[str]) -> Table:

@@ -3,24 +3,24 @@
 The adversary "uses the customer names present in the release to search for
 additional information about the customers available on the web".  Names found
 on the web rarely match the enterprise database verbatim (initials, swapped
-order, typos, titles), so the attack needs approximate string matching.  This
-module implements the standard machinery from scratch:
+order, typos, titles), so the attack needs approximate string matching.
 
-* name normalization (case folding, punctuation and title stripping);
-* Levenshtein edit distance and similarity;
-* Jaro and Jaro-Winkler similarity;
-* token-set similarity (order-insensitive comparison of name parts);
-* a :class:`NameMatcher` combining them, with first-letter blocking so the
-  comparison stays near-linear on larger corpora.
+This module holds the **scalar reference implementations** of the similarity
+machinery — Levenshtein, Jaro / Jaro-Winkler, token-set Jaccard and the
+composite :func:`name_similarity`.  They are the executable specification for
+the batched engine in :mod:`repro.linkage`, whose vectorized kernels must
+reproduce them bit-for-bit (pinned by ``tests/test_property_linkage.py``).
+:class:`NameMatcher` is kept as a thin compatibility wrapper over
+:class:`repro.linkage.LinkageIndex`; new code should use the index directly.
 """
 
 from __future__ import annotations
 
-import re
-from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from repro.exceptions import LinkageError
+from repro.linkage.index import LinkageIndex, MatchCandidate
+from repro.linkage.normalize import normalize_name
 
 __all__ = [
     "normalize_name",
@@ -33,17 +33,6 @@ __all__ = [
     "MatchCandidate",
     "NameMatcher",
 ]
-
-_TITLES = {"dr", "prof", "professor", "mr", "mrs", "ms", "phd", "jr", "sr", "ii", "iii"}
-_NON_ALPHA = re.compile(r"[^a-z\s]")
-_WHITESPACE = re.compile(r"\s+")
-
-
-def normalize_name(name: str) -> str:
-    """Lower-case a name, strip punctuation, titles and redundant whitespace."""
-    text = _NON_ALPHA.sub(" ", str(name).lower())
-    tokens = [t for t in _WHITESPACE.split(text) if t and t not in _TITLES]
-    return " ".join(tokens)
 
 
 def levenshtein_distance(left: str, right: str) -> int:
@@ -158,18 +147,13 @@ def name_similarity(left: str, right: str) -> float:
     return max(0.6 * jaro_winkler + 0.4 * levenshtein, token_set)
 
 
-@dataclass(frozen=True)
-class MatchCandidate:
-    """A candidate match of a query name against a corpus entry."""
-
-    query: str
-    candidate: str
-    candidate_index: int
-    score: float
-
-
 class NameMatcher:
-    """Approximate name matcher with first-letter blocking.
+    """Approximate name matcher — compatibility wrapper over the batched engine.
+
+    Historically this class ran the scalar similarity functions above under
+    first-letter blocking; it now delegates to
+    :class:`repro.linkage.LinkageIndex` (identical scores, multi-key q-gram
+    blocking by default) and keeps the original constructor and query surface.
 
     Parameters
     ----------
@@ -178,9 +162,12 @@ class NameMatcher:
     threshold:
         Minimum composite similarity for a match to be reported.
     use_blocking:
-        When enabled, only candidates sharing a first letter (of any token)
-        with the query are compared — the standard blocking trick that keeps
-        linkage tractable on larger corpora.
+        When disabled, every query is scored against the full corpus.
+    blocking:
+        Blocking scheme when ``use_blocking`` is set: ``"qgram"`` (default)
+        or ``"first-letter"`` (the historical scheme).
+    qgram_size:
+        Character q-gram width of the ``"qgram"`` scheme.
     """
 
     def __init__(
@@ -188,47 +175,35 @@ class NameMatcher:
         corpus_names: Sequence[str],
         threshold: float = 0.82,
         use_blocking: bool = True,
+        blocking: str = "qgram",
+        qgram_size: int = 2,
     ) -> None:
-        if not 0.0 < threshold <= 1.0:
-            raise LinkageError(f"threshold must lie in (0, 1], got {threshold}")
-        self.threshold = threshold
         self.use_blocking = use_blocking
-        self._names = list(corpus_names)
-        self._normalized = [normalize_name(name) for name in self._names]
-        self._blocks: dict[str, list[int]] = {}
-        for index, normalized in enumerate(self._normalized):
-            for token in normalized.split():
-                self._blocks.setdefault(token[0], []).append(index)
+        self._index = LinkageIndex(
+            corpus_names,
+            threshold=threshold,
+            blocking=blocking if use_blocking else "none",
+            qgram_size=qgram_size,
+        )
 
-    def _candidate_indices(self, normalized_query: str) -> Iterable[int]:
-        if not self.use_blocking:
-            return range(len(self._names))
-        indices: set[int] = set()
-        for token in normalized_query.split():
-            indices.update(self._blocks.get(token[0], []))
-        return sorted(indices)
+    @property
+    def threshold(self) -> float:
+        """Minimum composite similarity for a match to be reported."""
+        return self._index.threshold
+
+    @property
+    def index(self) -> LinkageIndex:
+        """The underlying batched linkage index."""
+        return self._index
 
     def candidates(self, query: str) -> list[MatchCandidate]:
         """All corpus entries scoring above the threshold, best first."""
-        normalized_query = normalize_name(query)
-        if not normalized_query:
-            return []
-        results = []
-        for index in self._candidate_indices(normalized_query):
-            score = name_similarity(normalized_query, self._normalized[index])
-            if score >= self.threshold:
-                results.append(
-                    MatchCandidate(
-                        query=query,
-                        candidate=self._names[index],
-                        candidate_index=index,
-                        score=score,
-                    )
-                )
-        results.sort(key=lambda c: c.score, reverse=True)
-        return results
+        return self._index.candidates(query)
 
     def best_match(self, query: str) -> MatchCandidate | None:
         """The single best match above the threshold, or ``None``."""
-        matches = self.candidates(query)
-        return matches[0] if matches else None
+        return self._index.best_match(query)
+
+    def match_many(self, queries: Sequence[str]) -> list[MatchCandidate | None]:
+        """The best match for every query, resolved in one batched pass."""
+        return self._index.match_many(queries)

@@ -80,18 +80,27 @@ class SimulatedWebCorpus(AuxiliarySource):
     linkage_threshold:
         Minimum composite name similarity for a page to be returned by
         :meth:`search`.
+    blocking / qgram_size:
+        Blocking knobs of the underlying :class:`~repro.linkage.LinkageIndex`
+        (``"qgram"``, ``"first-letter"`` or ``"none"``).
     """
 
     pages: list[WebPage]
     attribute_names: tuple[str, ...]
     linkage_threshold: float = 0.82
+    blocking: str = "qgram"
+    qgram_size: int = 2
     _matcher: NameMatcher = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if not self.pages:
             raise AuxiliarySourceError("a web corpus needs at least one page")
         self._matcher = NameMatcher(
-            [page.displayed_name for page in self.pages], threshold=self.linkage_threshold
+            [page.displayed_name for page in self.pages],
+            threshold=self.linkage_threshold,
+            use_blocking=self.blocking != "none",
+            blocking=self.blocking if self.blocking != "none" else "qgram",
+            qgram_size=self.qgram_size,
         )
 
     # Construction ----------------------------------------------------------------
@@ -106,6 +115,8 @@ class SimulatedWebCorpus(AuxiliarySource):
         name_variant_probability: float = 0.5,
         distractor_count: int = 0,
         linkage_threshold: float = 0.82,
+        blocking: str = "qgram",
+        qgram_size: int = 2,
         seed: int = 0,
     ) -> "SimulatedWebCorpus":
         """Generate a corpus from ground-truth person profiles.
@@ -128,6 +139,8 @@ class SimulatedWebCorpus(AuxiliarySource):
         distractor_count:
             Number of unrelated pages (random names, random facts) added to the
             corpus to stress the linkage step.
+        blocking / qgram_size:
+            Blocking knobs of the corpus's linkage index.
         seed:
             RNG seed; the corpus is fully deterministic given the seed.
         """
@@ -192,25 +205,36 @@ class SimulatedWebCorpus(AuxiliarySource):
             pages=pages,
             attribute_names=tuple(attribute_names),
             linkage_threshold=linkage_threshold,
+            blocking=blocking,
+            qgram_size=qgram_size,
         )
 
     # AuxiliarySource interface ------------------------------------------------------
 
+    def _record_for_page(self, page_index: int, score: float) -> AuxiliaryRecord:
+        page = self.pages[page_index]
+        return AuxiliaryRecord(
+            name=page.displayed_name,
+            attributes=dict(page.facts),
+            confidence=min(score, 1.0),
+            source=page.url,
+        )
+
     def search(self, name: str) -> list[AuxiliaryRecord]:
         """Pages plausibly belonging to ``name``, best linkage score first."""
-        matches = self._matcher.candidates(name)
-        records = []
-        for match in matches:
-            page = self.pages[match.candidate_index]
-            records.append(
-                AuxiliaryRecord(
-                    name=page.displayed_name,
-                    attributes=dict(page.facts),
-                    confidence=min(match.score, 1.0),
-                    source=page.url,
-                )
-            )
-        return records
+        return [
+            self._record_for_page(match.candidate_index, match.score)
+            for match in self._matcher.candidates(name)
+        ]
+
+    def lookup_many(self, names: Sequence[str]) -> list[AuxiliaryRecord | None]:
+        """Best page per name, resolved through one batched linkage pass."""
+        return [
+            None
+            if match is None
+            else self._record_for_page(match.candidate_index, match.score)
+            for match in self._matcher.match_many(names)
+        ]
 
     # Introspection helpers ------------------------------------------------------------
 
@@ -223,7 +247,7 @@ class SimulatedWebCorpus(AuxiliarySource):
         """Fraction of ``names`` for which at least one page links above threshold."""
         if not names:
             return 0.0
-        hits = sum(1 for name in names if self.search(name))
+        hits = sum(1 for record in self.lookup_many(list(names)) if record is not None)
         return hits / len(names)
 
 

@@ -1,0 +1,44 @@
+"""Batched record linkage: normalization, blocking, vectorized kernels.
+
+This package is the engine behind step 1 of the paper's attack (linking
+release identifiers to web auxiliary records).  It factors linkage into three
+layers — normalization (:mod:`repro.linkage.normalize`), candidate generation
+(:mod:`repro.linkage.blocking`) and vectorized similarity scoring
+(:mod:`repro.linkage.kernels`) — composed by :class:`LinkageIndex`, which is
+built once per corpus and resolves whole batches of queries at a time.
+
+The scalar similarity functions in :mod:`repro.fusion.linkage` remain the
+executable specification: the batched kernels reproduce them bit-for-bit, and
+``NameMatcher`` there is now a thin compatibility wrapper over
+:class:`LinkageIndex`.
+"""
+
+from repro.linkage.blocking import BLOCKING_SCHEMES, BlockingIndex
+from repro.linkage.index import LinkageIndex, MatchCandidate
+from repro.linkage.kernels import (
+    encode_query,
+    encode_strings,
+    jaro_similarity_batch,
+    jaro_winkler_similarity_batch,
+    levenshtein_distance_batch,
+    levenshtein_similarity_batch,
+    token_jaccard_batch,
+)
+from repro.linkage.normalize import name_tokens, normalize_name, token_qgrams
+
+__all__ = [
+    "LinkageIndex",
+    "MatchCandidate",
+    "BlockingIndex",
+    "BLOCKING_SCHEMES",
+    "normalize_name",
+    "name_tokens",
+    "token_qgrams",
+    "encode_query",
+    "encode_strings",
+    "levenshtein_distance_batch",
+    "levenshtein_similarity_batch",
+    "jaro_similarity_batch",
+    "jaro_winkler_similarity_batch",
+    "token_jaccard_batch",
+]

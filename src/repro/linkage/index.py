@@ -1,0 +1,252 @@
+"""The batched record-linkage engine.
+
+:class:`LinkageIndex` is built once per auxiliary corpus and then answers any
+number of approximate-match queries against it:
+
+* corpus names are normalized and pre-encoded into a padded ``int32``
+  character-code matrix plus a token-id matrix (built once, at index time);
+* a query is resolved by blocking (:mod:`repro.linkage.blocking`) to a
+  candidate row set, then scored against *all* candidates at once with the
+  vectorized kernels of :mod:`repro.linkage.kernels`;
+* the composite score is exactly the scalar reference
+  (:func:`repro.fusion.linkage.name_similarity`):
+  ``max(0.6 * jaro_winkler + 0.4 * levenshtein, token_jaccard)`` on
+  normalized names — bit-identical, so the engine reproduces the historical
+  ``NameMatcher`` matches wherever blocking agrees;
+* :meth:`match_many` resolves a whole batch of queries (the release's entire
+  identifier column) in one pass, deduplicating repeated queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import LinkageError
+from repro.linkage.blocking import BlockingIndex
+from repro.linkage.kernels import (
+    PAD,
+    encode_query,
+    encode_strings,
+    jaro_winkler_similarity_batch,
+    levenshtein_similarity_batch,
+    token_jaccard_batch,
+)
+from repro.linkage.normalize import normalize_name
+
+__all__ = ["MatchCandidate", "LinkageIndex"]
+
+
+@dataclass(frozen=True)
+class MatchCandidate:
+    """A candidate match of a query name against a corpus entry."""
+
+    query: str
+    candidate: str
+    candidate_index: int
+    score: float
+
+
+class LinkageIndex:
+    """Batched approximate name matcher over a fixed corpus.
+
+    Parameters
+    ----------
+    corpus_names:
+        The names known to the auxiliary source (web page owners).
+    threshold:
+        Minimum composite similarity for a match to be reported.
+    blocking:
+        Blocking scheme (see :data:`~repro.linkage.blocking.BLOCKING_SCHEMES`):
+        ``"qgram"`` (default; multi-key q-gram/token/first-letter),
+        ``"first-letter"`` (the historical scheme) or ``"none"`` (full scan).
+    qgram_size:
+        Character q-gram width used by the ``"qgram"`` scheme.
+    prefix_scale:
+        Jaro-Winkler common-prefix boost factor, in ``[0, 0.25]``.
+    """
+
+    def __init__(
+        self,
+        corpus_names: Sequence[str],
+        threshold: float = 0.82,
+        blocking: str = "qgram",
+        qgram_size: int = 2,
+        prefix_scale: float = 0.1,
+    ) -> None:
+        if not 0.0 < threshold <= 1.0:
+            raise LinkageError(f"threshold must lie in (0, 1], got {threshold}")
+        if not 0.0 <= prefix_scale <= 0.25:
+            raise LinkageError("prefix_scale must lie in [0, 0.25]")
+        self.threshold = threshold
+        self.prefix_scale = prefix_scale
+        self._names = [str(name) for name in corpus_names]
+        self._normalized = [normalize_name(name) for name in self._names]
+        self._codes, self._lengths = encode_strings(self._normalized)
+
+        # Token-id matrix: each row holds the unique token ids of one name.
+        vocabulary: dict[str, int] = {}
+        id_sets = [
+            sorted({vocabulary.setdefault(t, len(vocabulary)) for t in normalized.split()})
+            for normalized in self._normalized
+        ]
+        self._token_counts = np.fromiter(
+            (len(ids) for ids in id_sets), dtype=np.int64, count=len(id_sets)
+        )
+        token_width = max(int(self._token_counts.max(initial=0)), 1)
+        self._token_matrix = np.full((len(id_sets), token_width), PAD, dtype=np.int64)
+        for row, ids in enumerate(id_sets):
+            self._token_matrix[row, : len(ids)] = ids
+        self._vocabulary = vocabulary
+        # Lowest corpus row per token *set*.  The composite score hits exactly
+        # 1.0 iff the token sets are equal (token-Jaccard is 1.0 only then,
+        # and the 0.6/0.4 blend reaches 1.0 only for identical strings, which
+        # have equal token sets a fortiori), so a query whose token set is in
+        # this dict resolves to its lowest-row perfect match without touching
+        # the kernels — exactly what argmax-first over all candidates returns.
+        self._perfect: dict[frozenset[str], int] = {}
+        for row, normalized in enumerate(self._normalized):
+            if normalized:
+                self._perfect.setdefault(frozenset(normalized.split()), row)
+        self._blocking = BlockingIndex(
+            self._normalized, scheme=blocking, qgram_size=qgram_size
+        )
+
+    # Introspection ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of corpus entries in the index."""
+        return len(self._names)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """The corpus names, in index order."""
+        return tuple(self._names)
+
+    @property
+    def blocking(self) -> BlockingIndex:
+        """The blocking index (scheme, keys, candidate sets)."""
+        return self._blocking
+
+    # Scoring ------------------------------------------------------------------------
+
+    def candidate_rows(self, query: str) -> np.ndarray:
+        """Corpus rows the blocking scheme pairs with ``query`` (ascending)."""
+        return self._blocking.candidate_rows(normalize_name(query))
+
+    def scores(self, query: str, rows: np.ndarray | None = None) -> np.ndarray:
+        """Composite similarity of ``query`` against corpus rows (default: all).
+
+        Bit-identical to calling the scalar
+        :func:`repro.fusion.linkage.name_similarity` per pair.
+        """
+        normalized_query = normalize_name(query)
+        if rows is None:
+            rows = np.arange(len(self._names), dtype=np.intp)
+        if not normalized_query:
+            return np.zeros(len(rows))
+        return self._score_rows(normalized_query, rows)
+
+    def _score_rows(self, normalized_query: str, rows: np.ndarray) -> np.ndarray:
+        query_codes = encode_query(normalized_query)
+        codes = self._codes[rows]
+        lengths = self._lengths[rows]
+        jaro_winkler = jaro_winkler_similarity_batch(
+            query_codes, codes, lengths, self.prefix_scale
+        )
+        levenshtein = levenshtein_similarity_batch(query_codes, codes, lengths)
+        query_tokens = set(normalized_query.split())
+        known_ids = np.fromiter(
+            (self._vocabulary[t] for t in query_tokens if t in self._vocabulary),
+            dtype=np.int64,
+        )
+        token_set = token_jaccard_batch(
+            known_ids,
+            self._token_matrix[rows],
+            self._token_counts[rows],
+            len(query_tokens),
+        )
+        return np.maximum(0.6 * jaro_winkler + 0.4 * levenshtein, token_set)
+
+    # Matching -----------------------------------------------------------------------
+
+    def candidates(self, query: str) -> list[MatchCandidate]:
+        """All corpus entries scoring above the threshold, best first.
+
+        Ties keep ascending corpus order, exactly like the historical
+        ``NameMatcher`` (stable sort over candidates visited in index order).
+        """
+        query = str(query)
+        normalized_query = normalize_name(query)
+        if not normalized_query:
+            return []
+        rows = self._blocking.candidate_rows(normalized_query)
+        if rows.size == 0:
+            return []
+        scores = self._score_rows(normalized_query, rows)
+        keep = scores >= self.threshold
+        rows, scores = rows[keep], scores[keep]
+        order = np.argsort(-scores, kind="stable")
+        return [
+            MatchCandidate(
+                query=query,
+                candidate=self._names[row],
+                candidate_index=int(row),
+                score=float(score),
+            )
+            for row, score in zip(rows[order], scores[order])
+        ]
+
+    def best_match(self, query: str) -> MatchCandidate | None:
+        """The single best match above the threshold, or ``None``.
+
+        Equivalent to ``candidates(query)[0]`` without materializing the list
+        (``argmax`` keeps the lowest corpus row on ties, like the stable sort).
+        """
+        query = str(query)
+        normalized_query = normalize_name(query)
+        if not normalized_query:
+            return None
+        perfect = self._perfect.get(frozenset(normalized_query.split()))
+        if perfect is not None:
+            # A 1.0-scoring candidate exists; every blocking scheme pairs it
+            # with the query (equal token sets share every token key), and no
+            # lower row can tie it (ties at 1.0 are exactly the equal-set rows,
+            # of which this is the lowest).
+            return MatchCandidate(
+                query=query,
+                candidate=self._names[perfect],
+                candidate_index=perfect,
+                score=1.0,
+            )
+        rows = self._blocking.candidate_rows(normalized_query)
+        if rows.size == 0:
+            return None
+        scores = self._score_rows(normalized_query, rows)
+        best = int(np.argmax(scores))
+        if scores[best] < self.threshold:
+            return None
+        return MatchCandidate(
+            query=query,
+            candidate=self._names[rows[best]],
+            candidate_index=int(rows[best]),
+            score=float(scores[best]),
+        )
+
+    def match_many(self, queries: Sequence[str]) -> list[MatchCandidate | None]:
+        """The best match for every query, in query order.
+
+        Repeated queries are resolved once; every returned candidate carries
+        the query it answered.
+        """
+        best_by_query: dict[str, MatchCandidate | None] = {}
+        results: list[MatchCandidate | None] = []
+        for query in queries:
+            query = str(query)
+            if query not in best_by_query:
+                best_by_query[query] = self.best_match(query)
+            results.append(best_by_query[query])
+        return results

@@ -1,0 +1,84 @@
+"""Name normalization and blocking-key tokenization.
+
+Normalization is the contract every linkage component shares: the scalar
+similarity references in :mod:`repro.fusion.linkage`, the batched kernels in
+:mod:`repro.linkage.kernels` and the blocking index all operate on
+*normalized* names, so they must agree on what normalization means.
+
+Normalization folds a name to lower-case ASCII letters and single spaces:
+
+* Unicode is NFKD-decomposed and combining marks are stripped, so accented
+  letters survive as their base letter ("José Müller" -> "jose muller")
+  instead of being dropped by the ASCII filter;
+* letters with no NFKD decomposition ("ß", "ø", "ł", ...) are folded through
+  an explicit table so Scandinavian and Slavic names keep their skeleton;
+* punctuation and digits become spaces, titles and honorifics are removed,
+  and whitespace is collapsed.
+"""
+
+from __future__ import annotations
+
+import re
+import unicodedata
+
+__all__ = ["normalize_name", "name_tokens", "token_qgrams", "TITLES"]
+
+#: Titles and honorifics dropped from names during normalization.
+TITLES = frozenset(
+    {"dr", "prof", "professor", "mr", "mrs", "ms", "phd", "jr", "sr", "ii", "iii"}
+)
+
+_NON_ALPHA = re.compile(r"[^a-z\s]")
+_WHITESPACE = re.compile(r"\s+")
+
+# Letters NFKD leaves intact (no decomposition) but that clearly map onto an
+# ASCII skeleton.  Case pairs are listed explicitly because the fold runs
+# before case folding.
+_LETTER_FOLD = str.maketrans(
+    {
+        "ß": "ss",
+        "ẞ": "ss",
+        "æ": "ae",
+        "Æ": "ae",
+        "œ": "oe",
+        "Œ": "oe",
+        "ø": "o",
+        "Ø": "o",
+        "đ": "d",
+        "Đ": "d",
+        "ð": "d",
+        "Ð": "d",
+        "þ": "th",
+        "Þ": "th",
+        "ł": "l",
+        "Ł": "l",
+    }
+)
+
+
+def normalize_name(name: str) -> str:
+    """Fold a name to lower-case ASCII tokens, stripping titles and punctuation.
+
+    Accents are NFKD-folded onto their base letters before the non-letter
+    filter runs, so "José Müller" normalizes to ``"jose muller"`` (the
+    historical behaviour dropped every non-ASCII letter, mangling it into
+    ``"jos m ller"``).  Pure-ASCII input normalizes exactly as it always has.
+    """
+    decomposed = unicodedata.normalize("NFKD", str(name))
+    stripped = "".join(ch for ch in decomposed if not unicodedata.combining(ch))
+    text = _NON_ALPHA.sub(" ", stripped.translate(_LETTER_FOLD).casefold())
+    tokens = [t for t in _WHITESPACE.split(text) if t and t not in TITLES]
+    return " ".join(tokens)
+
+
+def name_tokens(name: str) -> tuple[str, ...]:
+    """The normalized tokens of a name (empty tuple when nothing survives)."""
+    normalized = normalize_name(name)
+    return tuple(normalized.split()) if normalized else ()
+
+
+def token_qgrams(token: str, q: int = 2) -> tuple[str, ...]:
+    """Sliding character q-grams of one token (the token itself when shorter)."""
+    if len(token) < q:
+        return (token,) if token else ()
+    return tuple(token[i : i + q] for i in range(len(token) - q + 1))

@@ -12,7 +12,10 @@ JSON/HTTP layer in :mod:`repro.service.http`:
   releases are rendered to CSV once and memoized in the two-tier cache, so a
   repeat request is an O(1) dictionary hit returning byte-identical text;
 * run the web-based **fusion attack** against a release (memoized the same
-  way);
+  way) — the linkage **harvest** is memoized separately, keyed by
+  (identifier-column fingerprint, auxiliary-corpus fingerprint), so repeated
+  attack/FRED requests over the same identifiers skip record linkage
+  entirely regardless of algorithm, level or engine;
 * launch a **FRED sweep** as an asynchronous job and poll it, with the sweep
   itself fanned out over :class:`~repro.core.fred.FREDConfig` worker pools.
 
@@ -23,11 +26,12 @@ once (see :mod:`repro.service.cache`).
 
 from __future__ import annotations
 
+import hashlib
 import math
 import threading
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Iterable
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -40,7 +44,7 @@ from repro.core.objective import WeightedObjective
 from repro.dataset.io import render_csv, stream_csv, stream_jsonl
 from repro.dataset.table import Table
 from repro.exceptions import ServiceError, UnknownDatasetError
-from repro.fusion.attack import AttackConfig, WebFusionAttack
+from repro.fusion.attack import AttackConfig, WebFusionAttack, harvest_auxiliary
 from repro.fusion.auxiliary import TableAuxiliarySource
 from repro.service.cache import TwoTierCache
 from repro.service.jobs import JobManager
@@ -65,6 +69,23 @@ ALGORITHMS: dict[str, Callable[[], object]] = {
 }
 
 _RELEASE_STYLES = ("interval", "centroid")
+
+
+def _identifier_fingerprint(names: Sequence[str]) -> str:
+    """A stable content fingerprint of an identifier column (sha256 hex).
+
+    Harvests are keyed by this rather than the full dataset fingerprint:
+    two datasets sharing an identifier column (e.g. the same people with
+    refreshed quasi-identifiers) hit the same cached harvest.
+    """
+    hasher = hashlib.sha256()
+    for name in names:
+        encoded = str(name).encode("utf-8", "surrogatepass")
+        # Length-prefixed so the encoding is injective even when a name
+        # contains NUL bytes (reachable via JSONL ingest).
+        hasher.update(len(encoded).to_bytes(8, "big"))
+        hasher.update(encoded)
+    return hasher.hexdigest()
 
 
 @dataclass(frozen=True)
@@ -325,6 +346,25 @@ class AnonymizationService:
             ),
         )
 
+    def _harvest(
+        self, names: Sequence[str], auxiliary: str, name_column: str
+    ) -> tuple[TableAuxiliarySource, tuple]:
+        """The memoized harvest of ``names`` against a registered auxiliary.
+
+        Keyed by (identifier-column fingerprint, auxiliary-corpus fingerprint,
+        name column) — the harvest is independent of anonymization algorithm,
+        level and fusion engine, so every attack and FRED request over the
+        same identifiers and corpus reuses one linkage pass.
+        """
+        source = TableAuxiliarySource(
+            table=self.dataset(auxiliary), name_column=name_column
+        )
+        key = (_identifier_fingerprint(names), "harvest", auxiliary, name_column)
+        harvest = self._cache.get_or_compute(
+            key, lambda: harvest_auxiliary(source, names, source.attribute_names)
+        )
+        return source, harvest
+
     def _compute_attack(
         self,
         fingerprint: str,
@@ -339,9 +379,8 @@ class AnonymizationService:
         engine: str,
     ) -> dict[str, object]:
         artifact = self.release(fingerprint, k, algorithm=algorithm, style=style)
-        source = TableAuxiliarySource(
-            table=self.dataset(auxiliary), name_column=name_column
-        )
+        names = [str(n) for n in artifact.table.identifier_column()]
+        source, harvest = self._harvest(names, auxiliary, name_column)
         config = AttackConfig(
             release_inputs=tuple(artifact.table.schema.numeric_quasi_identifiers),
             auxiliary_inputs=tuple(source.attribute_names),
@@ -349,7 +388,7 @@ class AnonymizationService:
             output_universe=(low, high),
             engine=engine,
         )
-        result = WebFusionAttack(source, config).run(artifact.table)
+        result = WebFusionAttack(source, config).run(artifact.table, harvest=harvest)
         return {
             "dataset": fingerprint,
             "auxiliary": auxiliary,
@@ -457,9 +496,8 @@ class AnonymizationService:
         parallelism: int,
     ) -> dict[str, object]:
         private = self.dataset(fingerprint)
-        source = TableAuxiliarySource(
-            table=self.dataset(auxiliary), name_column=name_column
-        )
+        names = [str(n) for n in private.identifier_column()]
+        source, harvest = self._harvest(names, auxiliary, name_column)
         release_view = private.release_view()
         config = AttackConfig(
             release_inputs=tuple(release_view.schema.numeric_quasi_identifiers),
@@ -481,7 +519,7 @@ class AnonymizationService:
                 parallelism=parallelism,
             ),
         )
-        result = fred.run(private)
+        result = fred.run(private, harvest=harvest)
         payload = result.to_dict()
         payload["dataset"] = fingerprint
         payload["auxiliary"] = auxiliary

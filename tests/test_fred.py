@@ -151,7 +151,8 @@ class TestSweepAndRun:
             corpus, attack_config, FREDConfig(levels=(2, 3)), attack_factory=factory
         )
         fred.run(population.private)
-        assert len(calls) == 2
+        # one factory build for the sweep-wide harvest plus one per level
+        assert len(calls) == 3
 
     def test_utility_weight_pushes_optimum_to_smaller_k(self, fred_inputs):
         population, corpus, attack_config = fred_inputs

@@ -1,0 +1,127 @@
+"""Property-based tests (hypothesis) for the batched linkage engine.
+
+The scalar functions in :mod:`repro.fusion.linkage` are the executable
+specification; these properties pin that the vectorized kernels in
+:mod:`repro.linkage.kernels` reproduce them **bit for bit** on arbitrary
+strings, and that q-gram blocking never loses a candidate the historical
+first-letter scheme would have produced.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fusion.linkage import (
+    jaro_similarity,
+    jaro_winkler_similarity,
+    levenshtein_distance,
+    levenshtein_similarity,
+    name_similarity,
+    normalize_name,
+)
+from repro.linkage import (
+    BlockingIndex,
+    LinkageIndex,
+    encode_query,
+    encode_strings,
+    jaro_similarity_batch,
+    jaro_winkler_similarity_batch,
+    levenshtein_distance_batch,
+    levenshtein_similarity_batch,
+)
+
+# Arbitrary text, deliberately wider than names: accents, punctuation and
+# non-Latin scripts all go through the kernels.
+text_strategy = st.text(max_size=16)
+name_strategy = st.text(
+    alphabet=st.characters(
+        codec="utf-8", categories=("Lu", "Ll", "Zs", "Pd", "Po")
+    ),
+    max_size=20,
+)
+corpus_strategy = st.lists(text_strategy, min_size=1, max_size=8)
+
+
+class TestKernelEquivalence:
+    @given(text_strategy, corpus_strategy)
+    @settings(max_examples=150)
+    def test_levenshtein_batch_equals_scalar(self, query, corpus):
+        codes, lengths = encode_strings(corpus)
+        distances = levenshtein_distance_batch(encode_query(query), codes, lengths)
+        similarities = levenshtein_similarity_batch(encode_query(query), codes, lengths)
+        for i, candidate in enumerate(corpus):
+            assert distances[i] == levenshtein_distance(query, candidate)
+            if query or candidate:
+                assert similarities[i] == levenshtein_similarity(query, candidate)
+            else:
+                assert similarities[i] == 1.0
+
+    @given(text_strategy, corpus_strategy)
+    @settings(max_examples=150)
+    def test_jaro_batch_equals_scalar(self, query, corpus):
+        codes, lengths = encode_strings(corpus)
+        batch = jaro_similarity_batch(encode_query(query), codes, lengths)
+        for i, candidate in enumerate(corpus):
+            assert batch[i] == jaro_similarity(query, candidate), candidate
+
+    @given(text_strategy, corpus_strategy)
+    @settings(max_examples=150)
+    def test_jaro_winkler_batch_equals_scalar(self, query, corpus):
+        codes, lengths = encode_strings(corpus)
+        batch = jaro_winkler_similarity_batch(encode_query(query), codes, lengths)
+        for i, candidate in enumerate(corpus):
+            assert batch[i] == jaro_winkler_similarity(query, candidate), candidate
+
+    @given(name_strategy, st.lists(name_strategy, min_size=1, max_size=6))
+    @settings(max_examples=100)
+    def test_composite_scores_equal_scalar_name_similarity(self, query, corpus):
+        index = LinkageIndex(corpus, threshold=0.5, blocking="none")
+        scores = index.scores(query)
+        for i, candidate in enumerate(corpus):
+            assert scores[i] == name_similarity(query, candidate), candidate
+
+
+class TestBlockingProperties:
+    @given(st.lists(name_strategy, min_size=1, max_size=10), name_strategy)
+    @settings(max_examples=100)
+    def test_qgram_candidates_superset_of_first_letter(self, corpus, query):
+        normalized = [normalize_name(name) for name in corpus]
+        normalized_query = normalize_name(query)
+        qgram = BlockingIndex(normalized, scheme="qgram")
+        legacy = BlockingIndex(normalized, scheme="first-letter")
+        assert set(legacy.candidate_rows(normalized_query)) <= set(
+            qgram.candidate_rows(normalized_query)
+        )
+
+    @given(st.lists(name_strategy, min_size=1, max_size=8), name_strategy)
+    @settings(max_examples=75)
+    def test_blocked_candidates_subset_of_full_scan_with_equal_scores(
+        self, corpus, query
+    ):
+        blocked = LinkageIndex(corpus, threshold=0.5, blocking="qgram")
+        full = LinkageIndex(corpus, threshold=0.5, blocking="none")
+        blocked_by_index = {
+            c.candidate_index: c.score for c in blocked.candidates(query)
+        }
+        full_by_index = {c.candidate_index: c.score for c in full.candidates(query)}
+        assert set(blocked_by_index) <= set(full_by_index)
+        for index, score in blocked_by_index.items():
+            assert score == full_by_index[index]
+
+
+class TestNormalizationProperties:
+    @given(text_strategy)
+    @settings(max_examples=200)
+    def test_normalize_is_idempotent(self, text):
+        once = normalize_name(text)
+        assert normalize_name(once) == once
+
+    @given(text_strategy)
+    @settings(max_examples=200)
+    def test_normalized_output_is_ascii_lowercase_tokens(self, text):
+        normalized = normalize_name(text)
+        assert "  " not in normalized
+        assert normalized == normalized.strip()
+        for token in normalized.split():
+            assert token.isascii() and token.isalpha() and token.islower()

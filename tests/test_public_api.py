@@ -14,6 +14,7 @@ SUBPACKAGES = [
     "repro.anonymize",
     "repro.fuzzy",
     "repro.fusion",
+    "repro.linkage",
     "repro.metrics",
     "repro.core",
     "repro.data",

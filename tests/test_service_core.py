@@ -127,8 +127,37 @@ class TestAttack:
 
         again = service.attack(fingerprint, auxiliary, k=3)
         assert again is result
-        # two computations: the underlying release and the attack itself
-        assert service.stats()["cache"]["computations"] == 2
+        # three computations: the underlying release, the memoized harvest
+        # (keyed by identifier-column + corpus fingerprints) and the attack
+        assert service.stats()["cache"]["computations"] == 3
+
+    def test_harvest_reused_across_levels_and_engines(
+        self, service, faculty_population, faculty_auxiliary_table
+    ):
+        fingerprint = service.register(faculty_population.private)["fingerprint"]
+        auxiliary = service.register(faculty_auxiliary_table)["fingerprint"]
+        service.attack(fingerprint, auxiliary, k=3)
+        baseline = service.stats()["cache"]["computations"]
+        service.attack(fingerprint, auxiliary, k=4)
+        # a different level adds a release and an attack, but the harvest
+        # (keyed by identifier column + corpus, not by level) is reused
+        assert service.stats()["cache"]["computations"] == baseline + 2
+        service.attack(fingerprint, auxiliary, k=4, engine="sugeno")
+        # a different engine reuses both the release and the harvest
+        assert service.stats()["cache"]["computations"] == baseline + 3
+
+    def test_identifier_fingerprint_is_injective_around_nul_bytes(self):
+        from repro.service.core import _identifier_fingerprint
+
+        # length-prefixed hashing: NUL bytes inside names cannot make two
+        # different identifier columns collide onto one cached harvest
+        assert _identifier_fingerprint(["a\x00", "b"]) != _identifier_fingerprint(
+            ["a", "\x00b"]
+        )
+        assert _identifier_fingerprint(["ab"]) != _identifier_fingerprint(["a", "b"])
+        assert _identifier_fingerprint(["a", "b"]) == _identifier_fingerprint(
+            ("a", "b")
+        )
 
     def test_attack_rejects_empty_range(
         self, service, faculty_population, faculty_auxiliary_table
