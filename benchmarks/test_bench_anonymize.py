@@ -251,7 +251,7 @@ def census_table():
     return generate_census(CensusConfig(count=RECORD_COUNT, seed=11)).private
 
 
-def test_columnar_speedup_vs_seed_pipeline(census_table):
+def test_columnar_speedup_vs_seed_pipeline(census_table, bench_gate):
     """Acceptance gate: columnar anonymize + score >= 5x the seed loops (1.5x quick)."""
     seed_table = _SeedTable(
         census_table.schema,
@@ -274,6 +274,15 @@ def test_columnar_speedup_vs_seed_pipeline(census_table):
     np.testing.assert_allclose(columnar_scores, seed_scores, rtol=1e-12)
 
     speedup = seed_seconds / columnar_seconds
+    bench_gate(
+        "anonymize-columnar-vs-seed-pipeline",
+        records=RECORD_COUNT,
+        k=K,
+        columnar_seconds=round(columnar_seconds, 4),
+        seed_seconds=round(seed_seconds, 4),
+        speedup=round(speedup, 2),
+        required=REQUIRED_SPEEDUP,
+    )
     assert speedup >= REQUIRED_SPEEDUP, (
         f"columnar pipeline is only {speedup:.1f}x the seed loops on "
         f"{RECORD_COUNT} records at k={K} (required {REQUIRED_SPEEDUP:.1f}x): "

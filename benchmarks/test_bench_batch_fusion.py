@@ -149,7 +149,7 @@ def test_bench_batch_fusion(benchmark, attack_inputs, engine):
     )
 
 
-def test_batch_speedup_vs_seed_loop(attack_inputs):
+def test_batch_speedup_vs_seed_loop(attack_inputs, bench_gate):
     """Acceptance gate: batch fusion >= 10x the seed per-record loop (1x quick)."""
     columns, records = attack_inputs
     system = _build_system("mamdani")
@@ -165,6 +165,14 @@ def test_batch_speedup_vs_seed_loop(attack_inputs):
         batch_estimates[: len(sample)], scalar_estimates, rtol=0.0, atol=1e-9
     )
     speedup = scalar_seconds_full / batch_seconds
+    bench_gate(
+        "batch-fusion-vs-seed-loop",
+        records=RECORD_COUNT,
+        batch_seconds=round(batch_seconds, 4),
+        seed_seconds_extrapolated=round(scalar_seconds_full, 4),
+        speedup=round(speedup, 2),
+        required=REQUIRED_SPEEDUP,
+    )
     assert speedup >= REQUIRED_SPEEDUP, (
         f"batch fusion is only {speedup:.1f}x the seed loop on {RECORD_COUNT} "
         f"records (required {REQUIRED_SPEEDUP:.0f}x): batch {batch_seconds:.3f}s "

@@ -75,7 +75,7 @@ def _timed_release(base: str, fingerprint: str, k: int) -> tuple[float, bytes]:
     return time.perf_counter() - start, body
 
 
-def test_cached_release_is_50x_faster_than_first_compute(service_setup):
+def test_cached_release_is_50x_faster_than_first_compute(service_setup, bench_gate):
     """Acceptance gate: cached releases are >= 50x the first compute (10x quick)."""
     base, fingerprint, service = service_setup
     first_seconds, first_body = _timed_release(base, fingerprint, K)
@@ -88,6 +88,15 @@ def test_cached_release_is_50x_faster_than_first_compute(service_setup):
         cached_seconds = min(cached_seconds, seconds)
 
     speedup = first_seconds / cached_seconds
+    bench_gate(
+        "service-cached-release",
+        records=RECORD_COUNT,
+        k=K,
+        first_seconds=round(first_seconds, 4),
+        cached_seconds=round(cached_seconds, 5),
+        speedup=round(speedup, 2),
+        required=REQUIRED_SPEEDUP,
+    )
     assert speedup >= REQUIRED_SPEEDUP, (
         f"cached release is only {speedup:.1f}x the first compute on "
         f"{RECORD_COUNT} records at k={K} (required {REQUIRED_SPEEDUP:.0f}x): "

@@ -25,6 +25,23 @@ dataset larger than any single request buffer never has to exist as one
 Python string.  ``read_csv(path)`` / ``read_jsonl(path)`` are thin wrappers
 over the same code path, which is what makes the chunked and in-memory
 results identical by construction (and property-tested to stay that way).
+
+Chunked NumPy fast path
+-----------------------
+Numeric-heavy CSVs dominate ingest, and for them the per-cell machinery —
+``csv.reader`` tokenization plus up to three regex probes and a ``float()``
+call per cell — is pure overhead.  :func:`stream_csv` therefore parses
+quote-free lines on a *fast path*: each ``chunk_rows`` block of lines is
+split and transposed column-wise, a numeric column whose joined chunk
+fullmatches one plain-numbers regex is converted with a single vectorized
+``ndarray.astype(float64)`` (then narrowed to ``int64`` exactly when the
+line-by-line parser would have produced integers), and only columns with
+special cells (empty, ``*``, intervals, category sets, padding) fall back to
+per-cell :func:`parse_cell` for that chunk.  The first quote character seen
+hands everything not yet parsed to the historical ``csv.reader`` path, so
+quoted delimiters and quoted embedded newlines behave exactly as before.
+The two paths are property-tested equivalent (``fast=False`` forces the
+line-by-line parser).
 """
 
 from __future__ import annotations
@@ -34,8 +51,9 @@ import io as _io
 import json
 import math
 import re
+from itertools import chain
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Mapping
 
 import numpy as np
 
@@ -60,6 +78,18 @@ __all__ = [
 _INTERVAL_RE = re.compile(r"^\[(?P<low>-?\d+(?:\.\d+)?)-(?P<high>-?\d+(?:\.\d+)?)\]$")
 _CATEGORY_RE = re.compile(r"^\{(?P<members>.+)\}$")
 _NUMBER_RE = re.compile(r"^-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?$")
+
+#: One cell the numeric fast path may hand to ``astype(float64)`` verbatim:
+#: exactly the grammar :data:`_NUMBER_RE` accepts, plus the lowercase special
+#: floats :func:`render_cell` emits.  Anything else (empty cells, ``*``,
+#: intervals, padding spaces, ``+5``-style text) falls back to
+#: :func:`parse_cell`, which NumPy's parser would otherwise treat differently.
+_FAST_NUMBER = r"-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?|nan|inf|-inf"
+_FAST_NUMERIC_COLUMN_RE = re.compile(rf"(?:{_FAST_NUMBER})(?:\n(?:{_FAST_NUMBER}))*")
+
+#: Largest float64 magnitude the fast path narrows to ``int64`` (all integral
+#: float64 values below it convert exactly).
+_INT64_LIMIT = float(2**63)
 
 #: Rows accumulated per column chunk before coercion to a typed array.
 DEFAULT_CHUNK_ROWS = 4096
@@ -168,6 +198,18 @@ class _ChunkedColumns:
             self._pending[name] = []
         self._pending_rows = 0
 
+    def append_chunk(self, arrays: Mapping[str, np.ndarray]) -> None:
+        """Append one pre-parsed typed chunk (one equal-length array per column).
+
+        This is the fast-path entry: a whole block of rows arrives as typed
+        arrays, bypassing the per-row pending buffer.  Any rows still pending
+        are flushed first so row order is preserved when fast and slow chunks
+        interleave (e.g. a quoted region in the middle of a numeric file).
+        """
+        self._flush()
+        for name in self._names:
+            self._chunks[name].append(arrays[name])
+
     def finish(self, schema: Schema) -> Table:
         self._flush()
         arrays: dict[str, np.ndarray] = {}
@@ -229,52 +271,199 @@ def write_csv(table: Table, path: str | Path) -> Path:
     return path
 
 
+def _read_csv_header(reader, source: str) -> tuple[list[str], list[str]]:
+    """Consume the two header rows (names, role:kind declarations)."""
+    try:
+        names = next(reader)
+        declarations = next(reader)
+    except StopIteration as exc:
+        raise TableError(
+            f"CSV document {source} is missing its two header lines"
+        ) from exc
+    return names, declarations
+
+
+def _parse_csv_rows(
+    reader,
+    columns: _ChunkedColumns,
+    names: list[str],
+    kinds: list[AttributeKind],
+    source: str,
+    line_offset: int = 0,
+) -> None:
+    """Consume a ``csv.reader`` into the column assembler (the slow path)."""
+    for row in reader:
+        if not row:  # blank line (e.g. the one implied by a trailing newline)
+            continue
+        if len(row) != len(names):
+            raise TableError(
+                f"line {reader.line_num + line_offset} of {source} has "
+                f"{len(row)} cells, expected {len(names)}"
+            )
+        columns.append_row(
+            parse_cell(cell, kind) for cell, kind in zip(row, kinds)
+        )
+
+
+def _fast_parse_column(cells: tuple[str, ...], kind: AttributeKind) -> np.ndarray:
+    """Parse one column chunk, vectorizing the all-plain-numbers case.
+
+    The joined chunk must fullmatch the plain-number grammar for the
+    vectorized conversion to be trusted; any other content — empty cells,
+    generalized syntax, padding, spellings NumPy and :func:`parse_cell`
+    disagree on — re-parses the chunk cell by cell, which is exactly the
+    line-by-line path.
+    """
+    if kind is AttributeKind.NUMERIC:
+        if _FAST_NUMERIC_COLUMN_RE.fullmatch("\n".join(cells)):
+            values = np.asarray(cells, dtype=np.float64)
+            if bool(np.isfinite(values).all()) and bool(
+                (values == np.floor(values)).all()
+            ):
+                # parse_cell returns ints for integral numbers ("5", "5.0",
+                # "1e3"); mirror that as an int64 chunk whenever the
+                # conversion is exact.  An all-integral chunk reaching past
+                # int64 becomes an exact-python-int object column on the
+                # line-by-line path, so re-parse it per cell to match dtypes.
+                if bool((np.abs(values) < _INT64_LIMIT).all()):
+                    return values.astype(np.int64)
+            else:
+                return values
+        return _as_column_array([parse_cell(cell, kind) for cell in cells])
+    # Non-numeric columns: an ordinary cell — non-empty once stripped, not
+    # starting with generalized syntax — is its stripped text verbatim, so
+    # only the special minority pays the parse_cell regex probes.
+    parsed: list[object] = []
+    for cell in cells:
+        text = cell.strip()
+        if text and text[0] not in "*[{":
+            parsed.append(text)
+        else:
+            parsed.append(parse_cell(text, kind))
+    return _as_column_array(parsed)
+
+
+def _append_fast_chunk(
+    columns: _ChunkedColumns,
+    chunk_lines: list[str],
+    names: list[str],
+    kinds: list[AttributeKind],
+    source: str,
+    start_line: int,
+) -> None:
+    """Split, transpose and parse one quote-free block of raw lines."""
+    if not chunk_lines:
+        return
+    expected = len(names)
+    rows: list[list[str]] = []
+    for offset, raw in enumerate(chunk_lines):
+        text = raw.rstrip("\r\n")
+        if not text:  # blank line (e.g. the one implied by a trailing newline)
+            continue
+        cells = text.split(",")
+        if len(cells) != expected:
+            raise TableError(
+                f"line {start_line + offset} of {source} has {len(cells)} cells, "
+                f"expected {expected}"
+            )
+        rows.append(cells)
+    if not rows:
+        return
+    columns.append_chunk(
+        {
+            name: _fast_parse_column(column_cells, kind)
+            for name, kind, column_cells in zip(names, kinds, zip(*rows))
+        }
+    )
+
+
 def stream_csv(
     lines: Iterable[str],
     chunk_rows: int = DEFAULT_CHUNK_ROWS,
     source: str = "<stream>",
+    fast: bool = True,
 ) -> Table:
     """Parse CSV text arriving as an iterable of lines into a table.
 
     ``lines`` may be a file handle (opened with ``newline=""``) or any
-    iterator of decoded text pieces — quoted delimiters and quoted embedded
+    iterator of decoded text lines — quoted delimiters and quoted embedded
     newlines are handled by the ``csv`` machinery even when a quoted field
-    spans pieces.  Rows are assembled in ``chunk_rows``-sized column chunks;
+    spans lines.  Rows are assembled in ``chunk_rows``-sized column chunks;
     the result is identical to parsing the whole document in memory.
+
+    With ``fast`` set (the default), quote-free lines take the chunked NumPy
+    fast path described in the module docstring; the first quote character
+    hands the rest of the stream to the line-by-line parser.  ``fast=False``
+    forces the line-by-line parser throughout — the two modes are equivalent
+    by property test, so the flag only exists for benchmarking and pinning.
 
     Raises :class:`~repro.exceptions.TableError` for an empty document or a
     document whose two header lines are missing or inconsistent; a
     header-only document yields an empty (zero-row) table, and a trailing
     newline does not produce a phantom row.
     """
-    reader = csv.reader(iter(lines))
-    try:
-        names = next(reader)
-        declarations = next(reader)
-    except StopIteration as exc:
-        raise TableError(f"CSV document {source} is missing its two header lines") from exc
+    iterator = iter(lines)
+    if not fast:
+        reader = csv.reader(iterator)
+        names, declarations = _read_csv_header(reader, source)
+        schema = _schema_from_declarations(names, declarations, source)
+        kinds = [schema[name].kind for name in names]
+        columns = _ChunkedColumns(list(names), chunk_rows)
+        _parse_csv_rows(reader, columns, names, kinds, source)
+        return columns.finish(schema)
+
+    header_lines: list[str] = []
+    for line in iterator:
+        header_lines.append(line)
+        if len(header_lines) == 2:
+            break
+    if any('"' in line for line in header_lines):
+        # A quoted header cell may even span physical lines; restart the whole
+        # parse on the csv machinery.
+        return stream_csv(
+            chain(header_lines, iterator), chunk_rows=chunk_rows, source=source,
+            fast=False,
+        )
+    names, declarations = _read_csv_header(csv.reader(iter(header_lines)), source)
     schema = _schema_from_declarations(names, declarations, source)
     kinds = [schema[name].kind for name in names]
     columns = _ChunkedColumns(list(names), chunk_rows)
-    for row in reader:
-        if not row:  # blank line (e.g. the one implied by a trailing newline)
-            continue
-        if len(row) != len(names):
-            raise TableError(
-                f"line {reader.line_num} of {source} has {len(row)} cells, "
-                f"expected {len(names)}"
+
+    chunk: list[str] = []
+    chunk_start = 3  # 1-based line number of the first line in `chunk`
+    line_number = 2
+    for line in iterator:
+        line_number += 1
+        if '"' in line:
+            # Quoted content from here on (possibly spanning lines): parse the
+            # quote-free block gathered so far, then hand the rest — starting
+            # with this line — to the csv machinery.
+            _append_fast_chunk(columns, chunk, names, kinds, source, chunk_start)
+            _parse_csv_rows(
+                csv.reader(chain([line], iterator)),
+                columns,
+                names,
+                kinds,
+                source,
+                line_offset=line_number - 1,
             )
-        columns.append_row(
-            parse_cell(cell, kind) for cell, kind in zip(row, kinds)
-        )
+            return columns.finish(schema)
+        chunk.append(line)
+        if len(chunk) >= chunk_rows:
+            _append_fast_chunk(columns, chunk, names, kinds, source, chunk_start)
+            chunk_start += len(chunk)
+            chunk = []
+    _append_fast_chunk(columns, chunk, names, kinds, source, chunk_start)
     return columns.finish(schema)
 
 
-def read_csv(path: str | Path, chunk_rows: int = DEFAULT_CHUNK_ROWS) -> Table:
+def read_csv(
+    path: str | Path, chunk_rows: int = DEFAULT_CHUNK_ROWS, fast: bool = True
+) -> Table:
     """Read a table previously written by :func:`write_csv`."""
     path = Path(path)
     with path.open("r", newline="", encoding="utf-8") as handle:
-        return stream_csv(handle, chunk_rows=chunk_rows, source=str(path))
+        return stream_csv(handle, chunk_rows=chunk_rows, source=str(path), fast=fast)
 
 
 # --------------------------------------------------------------------------

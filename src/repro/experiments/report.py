@@ -17,15 +17,23 @@ __all__ = ["figure_to_markdown", "table_to_markdown", "sweep_shape_checks", "ren
 
 
 def figure_to_markdown(figure: FigureResult) -> str:
-    """One figure as a Markdown section with a data table."""
+    """One figure as a Markdown section with a data table.
+
+    Series are formatted column-wise (one pass per series) and the table body
+    is assembled by zipping the rendered columns, mirroring the columnar
+    rendering of the table/text paths.
+    """
     lines = [f"### {figure.figure_id.capitalize()}: {figure.title}", ""]
     names = list(figure.series)
     header = "| " + figure.x_label + " | " + " | ".join(names) + " |"
     separator = "|" + "---|" * (len(names) + 1)
     lines.extend([header, separator])
-    for i, x in enumerate(figure.x):
-        cells = " | ".join(f"{figure.series[name][i]:.6g}" for name in names)
-        lines.append(f"| {x:g} | {cells} |")
+    x_cells = [f"{x:g}" for x in figure.x]
+    series_cells = [
+        [f"{value:.6g}" for value in figure.series[name]] for name in names
+    ]
+    for row in zip(x_cells, *series_cells, strict=True):
+        lines.append("| " + " | ".join(row) + " |")
     if figure.notes:
         lines.extend(["", f"*{figure.notes}*"])
     lines.append("")

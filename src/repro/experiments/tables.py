@@ -98,15 +98,15 @@ def run_example_attack(k: int = 2) -> dict[str, object]:
     auxiliary = adversary_auxiliary_example()
     release = MDAVAnonymizer().anonymize(private, k).release
 
-    profiles = []
-    for row in auxiliary.rows():
-        profiles.append(
-            {
-                "name": row["name"],
-                "position": row["employment"],
-                "property_holdings": float(row["property_holdings"]),
-            }
+    # Column-wise profile assembly (no per-row dict materialization).
+    profiles = [
+        {"name": name, "position": position, "property_holdings": holdings}
+        for name, position, holdings in zip(
+            auxiliary.column("name"),
+            auxiliary.column("employment"),
+            auxiliary.numeric_column("property_holdings").tolist(),
         )
+    ]
     corpus = SimulatedWebCorpus.from_profiles(
         profiles=profiles,
         attribute_names=("property_holdings",),
@@ -136,9 +136,12 @@ def run_example_attack(k: int = 2) -> dict[str, object]:
         "release": release,
         "auxiliary": result.auxiliary,
         "estimates": estimates,
-        "true_income": {
-            str(row["name"]): float(row["income"]) for row in private.rows()
-        },
+        "true_income": dict(
+            zip(
+                map(str, private.identifier_column()),
+                private.numeric_column("income").tolist(),
+            )
+        ),
     }
 
 

@@ -45,7 +45,12 @@ import numpy as np
 
 from repro.dataset.table import Table
 from repro.exceptions import AttackConfigurationError
-from repro.fusion.auxiliary import AuxiliaryRecord, AuxiliarySource, auxiliary_table
+from repro.fusion.auxiliary import (
+    AuxiliaryRecord,
+    AuxiliarySource,
+    HarvestRecords,
+    auxiliary_table,
+)
 from repro.fusion.estimators import SensitiveEstimator
 from repro.fusion.rulegen import monotone_rules
 from repro.fuzzy.batch import as_columns, columns_to_records
@@ -178,17 +183,19 @@ def harvest_auxiliary(
 
     This is step 1 of the attack (and its linkage-dominated hot path): the
     whole identifier column goes through
-    :meth:`~repro.fusion.auxiliary.AuxiliarySource.lookup_many`, so a source
-    backed by a :class:`~repro.linkage.LinkageIndex` amortizes blocking and
-    batch scoring across the release.  Returns the per-name best records
-    (``None`` where nothing linked) plus the harvested auxiliary table
-    (paper Table IV).  The harvest depends only on the identifier column and
-    the source — not on the anonymization level — so callers sweeping levels
-    (FRED, the service) compute it once and pass it to
-    :meth:`WebFusionAttack.run`.
+    :meth:`~repro.fusion.auxiliary.AuxiliarySource.harvest_records`, so a
+    source backed by a :class:`~repro.linkage.LinkageIndex` amortizes
+    blocking and batch scoring across the release, and columnar sources
+    attach array-gathered numeric fact columns that the assemble step reads
+    directly.  Returns the per-name best records
+    (a :class:`~repro.fusion.auxiliary.HarvestRecords` list, ``None`` where
+    nothing linked) plus the harvested auxiliary table (paper Table IV).
+    The harvest depends only on the identifier column and the source — not on
+    the anonymization level — so callers sweeping levels (FRED, the service)
+    compute it once and pass it to :meth:`WebFusionAttack.run`.
     """
     queried = [str(name) for name in names]
-    harvested = source.lookup_many(queried)
+    harvested = source.harvest_records(queried)
     found = [
         AuxiliaryRecord(
             name=name,
@@ -258,6 +265,10 @@ class WebFusionAttack:
         Release inputs resolve generalized cells to numeric representatives
         (NaN when suppressed); auxiliary inputs are NaN wherever the harvest
         found nothing.  This is the batch layout the fusion engines consume.
+        A :class:`~repro.fusion.auxiliary.HarvestRecords` batch hands its
+        auxiliary columns over as cached arrays (gathered once per harvest,
+        shared across every level of a sweep); a plain record sequence falls
+        back to the per-record extraction.
         """
         missing = [
             name for name in self.config.release_inputs if name not in release.schema
@@ -267,6 +278,10 @@ class WebFusionAttack:
                 f"release is missing configured input columns: {missing}"
             )
         columns = release.numeric_columns(self.config.release_inputs)
+        if isinstance(harvested, HarvestRecords):
+            for name in self.config.auxiliary_inputs:
+                columns[name] = harvested.numeric_column(name).copy()
+            return columns
         for name in self.config.auxiliary_inputs:
             column = np.full(len(harvested), np.nan)
             for i, auxiliary in enumerate(harvested):

@@ -5,6 +5,18 @@ about the individuals named in the release — web pages, blogs, property
 records.  The :class:`AuxiliarySource` interface abstracts over such channels
 so that the attack pipeline can be exercised against the simulated web corpus
 (:mod:`repro.fusion.web`), a CSV of scraped attributes, or any custom source.
+
+Columnar harvest path
+---------------------
+The bulk-harvest entry point is :meth:`AuxiliarySource.harvest_records`,
+which returns a :class:`HarvestRecords` batch — a plain
+``list[AuxiliaryRecord | None]`` that additionally carries (or lazily
+computes, exactly once) the ``(n_names,)`` float columns of every harvested
+numeric attribute.  Sources backed by columnar storage
+(:class:`TableAuxiliarySource`, the simulated web corpus) produce those
+columns by array gather, so the attack's assemble step reads NaN-masked
+arrays instead of looping per-record dicts — and a FRED sweep sharing one
+harvest across levels pays the column extraction once, not once per level.
 """
 
 from __future__ import annotations
@@ -13,12 +25,20 @@ import abc
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
+import numpy as np
+
 from repro.dataset.schema import Attribute, AttributeKind, AttributeRole, Schema
 from repro.dataset.table import Table
 from repro.exceptions import AuxiliarySourceError
 from repro.linkage.index import LinkageIndex
 
-__all__ = ["AuxiliaryRecord", "AuxiliarySource", "TableAuxiliarySource", "auxiliary_table"]
+__all__ = [
+    "AuxiliaryRecord",
+    "AuxiliarySource",
+    "HarvestRecords",
+    "TableAuxiliarySource",
+    "auxiliary_table",
+]
 
 
 @dataclass(frozen=True)
@@ -58,6 +78,46 @@ class AuxiliaryRecord:
         return float(value)
 
 
+class HarvestRecords(list):
+    """A bulk harvest: ``list[AuxiliaryRecord | None]`` plus cached columns.
+
+    Behaves exactly like the historical record list (iteration, ``len``,
+    indexing, equality, pickling), so every existing consumer of a harvest —
+    the attack's alignment checks, the service cache, ablation code — keeps
+    working.  On top of that, :meth:`numeric_column` exposes each harvested
+    attribute as one NaN-masked ``(n_names,)`` float array.  Columnar sources
+    pre-seed those arrays with a single gather; otherwise they are derived
+    from the records on first use and memoized, so a sweep sharing one
+    harvest across many anonymization levels extracts each column once.
+    """
+
+    def __init__(
+        self,
+        records: Sequence["AuxiliaryRecord | None"] = (),
+        numeric_columns: Mapping[str, np.ndarray] | None = None,
+    ) -> None:
+        super().__init__(records)
+        self._numeric: dict[str, np.ndarray] = dict(numeric_columns or {})
+
+    def numeric_column(self, name: str) -> np.ndarray:
+        """Attribute ``name`` as a float column (NaN where unmatched/absent).
+
+        The returned array is the cached buffer — callers must copy before
+        mutating.
+        """
+        column = self._numeric.get(name)
+        if column is None:
+            column = np.full(len(self), np.nan)
+            for i, record in enumerate(self):
+                if record is None:
+                    continue
+                value = record.numeric_attribute(name)
+                if value is not None:
+                    column[i] = value
+            self._numeric[name] = column
+        return column
+
+
 class AuxiliarySource(abc.ABC):
     """A channel from which the adversary can harvest auxiliary records."""
 
@@ -85,11 +145,51 @@ class AuxiliarySource(abc.ABC):
     def lookup_many(self, names: Sequence[str]) -> list[AuxiliaryRecord | None]:
         """The best record per name (``None`` where nothing is found).
 
-        This is the harvest entry point: the attack resolves a release's whole
-        identifier column through one call, so a batched source pays its
+        This is the batched lookup primitive: the attack resolves a release's
+        whole identifier column through one call, so a batched source pays its
         linkage cost once per corpus instead of once per (name, level) pair.
         """
         return [records[0] if records else None for records in self.search_many(names)]
+
+    def harvest_records(self, names: Sequence[str]) -> HarvestRecords:
+        """Best record per name as a :class:`HarvestRecords` batch.
+
+        This is the harvest entry point used by
+        :func:`repro.fusion.attack.harvest_auxiliary`.  The default wraps
+        :meth:`lookup_many`; columnar sources override it to also attach
+        array-gathered numeric fact columns.
+        """
+        return HarvestRecords(self.lookup_many(list(names)))
+
+
+def _py_cell(value: object) -> object:
+    """Unwrap numpy scalars so record attributes hold plain Python values."""
+    return value.item() if isinstance(value, np.generic) else value
+
+
+def _gather_numeric_column(column: np.ndarray, rows: np.ndarray) -> np.ndarray:
+    """Gather storage-array cells at ``rows`` into a float column.
+
+    ``rows`` holds one storage row per queried name (``-1`` = no match).
+    Cells follow :meth:`AuxiliaryRecord.numeric_attribute` semantics: numbers
+    coerce to float, strings / ``None`` / misses become NaN.
+    """
+    out = np.full(rows.shape[0], np.nan)
+    hit = rows >= 0
+    if not bool(hit.any()):
+        return out
+    taken = column[np.where(hit, rows, 0)]
+    if column.dtype.kind in "if":
+        out[hit] = taken[hit].astype(np.float64)
+        return out
+    converted = np.full(rows.shape[0], np.nan)
+    for i in np.nonzero(hit)[0]:
+        value = taken[i]
+        if value is None or isinstance(value, str):
+            continue
+        converted[i] = float(value)
+    out[hit] = converted[hit]
+    return out
 
 
 @dataclass
@@ -105,6 +205,10 @@ class TableAuxiliarySource(AuxiliarySource):
     a :class:`~repro.linkage.LinkageIndex` is built over the name column once
     and queries resolve through blocked, batched similarity scoring — the
     right mode when the auxiliary CSV holds scraped web names.
+
+    The source is fully columnar: it keeps references to the table's typed
+    column buffers and assembles records (or whole harvest columns) by array
+    gather — the table's rows are never materialized as per-row dicts.
 
     Parameters
     ----------
@@ -140,25 +244,30 @@ class TableAuxiliarySource(AuxiliarySource):
                 for attribute in self.table.schema.attributes
                 if attribute.name != self.name_column and attribute.is_numeric
             )
-        self._rows = list(self.table.rows())
-        self._by_name = {str(row[self.name_column]): row for row in self._rows}
+        self._names = [str(name) for name in self.table.column(self.name_column)]
+        # Last occurrence wins on duplicate names, like the historical
+        # row-dict index did.
+        self._by_name = {name: row for row, name in enumerate(self._names)}
+        self._columns = {
+            name: self.table.column_array(name) for name in self.attribute_names
+        }
         self._index: LinkageIndex | None = None
         if self.linkage_threshold is not None:
             self._index = LinkageIndex(
-                [str(row[self.name_column]) for row in self._rows],
+                self._names,
                 threshold=self.linkage_threshold,
                 blocking=self.blocking,
                 qgram_size=self.qgram_size,
             )
 
-    def _record_from_row(
-        self, row: Mapping[str, object], name: str, confidence: float = 1.0
+    def _record_at(
+        self, row: int, name: str, confidence: float = 1.0
     ) -> AuxiliaryRecord:
-        attributes = {
-            attribute_name: row[attribute_name]
-            for attribute_name in self.attribute_names
-            if row.get(attribute_name) is not None
-        }
+        attributes = {}
+        for attribute_name, column in self._columns.items():
+            value = _py_cell(column[row])
+            if value is not None:
+                attributes[attribute_name] = value
         return AuxiliaryRecord(
             name=name, attributes=attributes, confidence=confidence, source="table"
         )
@@ -168,10 +277,10 @@ class TableAuxiliarySource(AuxiliarySource):
             row = self._by_name.get(str(name))
             if row is None:
                 return []
-            return [self._record_from_row(row, str(name))]
+            return [self._record_at(row, str(name))]
         return [
-            self._record_from_row(
-                self._rows[match.candidate_index],
+            self._record_at(
+                match.candidate_index,
                 match.candidate,
                 confidence=min(match.score, 1.0),
             )
@@ -181,34 +290,75 @@ class TableAuxiliarySource(AuxiliarySource):
     def lookup_many(self, names: Sequence[str]) -> list[AuxiliaryRecord | None]:
         """Best record per name; approximate mode resolves the batch at once."""
         if self._index is None:
-            return super().lookup_many(names)
+            results: list[AuxiliaryRecord | None] = []
+            for name in names:
+                row = self._by_name.get(str(name))
+                results.append(None if row is None else self._record_at(row, str(name)))
+            return results
         matches = self._index.match_many([str(name) for name in names])
         return [
             None
             if match is None
-            else self._record_from_row(
-                self._rows[match.candidate_index],
+            else self._record_at(
+                match.candidate_index,
                 match.candidate,
                 confidence=min(match.score, 1.0),
             )
             for match in matches
         ]
 
+    def harvest_records(self, names: Sequence[str]) -> HarvestRecords:
+        """Bulk harvest with numeric fact columns gathered straight from storage."""
+        queried = [str(name) for name in names]
+        if self._index is None:
+            rows = np.fromiter(
+                (self._by_name.get(name, -1) for name in queried),
+                dtype=np.intp,
+                count=len(queried),
+            )
+            records = [
+                None if row < 0 else self._record_at(int(row), name)
+                for row, name in zip(rows, queried)
+            ]
+        else:
+            matches = self._index.match_many(queried)
+            rows = np.fromiter(
+                (-1 if match is None else match.candidate_index for match in matches),
+                dtype=np.intp,
+                count=len(matches),
+            )
+            records = [
+                None
+                if match is None
+                else self._record_at(
+                    match.candidate_index,
+                    match.candidate,
+                    confidence=min(match.score, 1.0),
+                )
+                for match in matches
+            ]
+        numeric = {
+            name: _gather_numeric_column(column, rows)
+            for name, column in self._columns.items()
+        }
+        return HarvestRecords(records, numeric)
+
 
 def auxiliary_table(records: Sequence[AuxiliaryRecord], attribute_names: Sequence[str]) -> Table:
     """Materialize harvested auxiliary records as a :class:`Table` (paper Table IV).
 
-    Missing attributes are stored as ``None``; the name column is an identifier
-    so the resulting table can be joined with the release on names.
+    The table is assembled column-wise — one value list per attribute, handed
+    to the columnar constructor — rather than through per-row dicts.  Missing
+    attributes are stored as ``None``; the name column is an identifier so the
+    resulting table can be joined with the release on names.
     """
     schema = Schema(
         [Attribute("name", AttributeRole.IDENTIFIER, AttributeKind.TEXT)]
         + [Attribute(name, AttributeRole.QUASI_IDENTIFIER) for name in attribute_names]
     )
-    rows = []
-    for record in records:
-        row: dict[str, object] = {"name": record.name}
-        for name in attribute_names:
-            row[name] = record.attributes.get(name)
-        rows.append(row)
-    return Table.from_rows(schema, rows)
+    columns: dict[str, list[object]] = {
+        "name": [record.name for record in records]
+    }
+    for name in attribute_names:
+        columns[name] = [record.attributes.get(name) for record in records]
+    return Table(schema, columns)

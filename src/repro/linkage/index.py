@@ -14,7 +14,11 @@ number of approximate-match queries against it:
   normalized names — bit-identical, so the engine reproduces the historical
   ``NameMatcher`` matches wherever blocking agrees;
 * :meth:`match_many` resolves a whole batch of queries (the release's entire
-  identifier column) in one pass, deduplicating repeated queries.
+  identifier column) in one pass, deduplicating repeated queries and batching
+  the *query* axis too: queries are bucketed by normalized length and each
+  bucket's (query, candidate) pairs run through one pairwise DP
+  (:mod:`repro.linkage.kernels`, the ``*_pairs`` kernels), bit-identical to
+  resolving every query on its own.
 """
 
 from __future__ import annotations
@@ -28,11 +32,15 @@ from repro.exceptions import LinkageError
 from repro.linkage.blocking import BlockingIndex
 from repro.linkage.kernels import (
     PAD,
+    QUERY_PAD,
     encode_query,
     encode_strings,
     jaro_winkler_similarity_batch,
+    jaro_winkler_similarity_pairs,
     levenshtein_similarity_batch,
+    levenshtein_similarity_pairs,
     token_jaccard_batch,
+    token_jaccard_pairs,
 )
 from repro.linkage.normalize import normalize_name
 
@@ -113,6 +121,21 @@ class LinkageIndex:
         self._blocking = BlockingIndex(
             self._normalized, scheme=blocking, qgram_size=qgram_size
         )
+        # Character-count matrix for the match_many pruning bounds: one count
+        # per character code occurring anywhere in the corpus.  Normalized
+        # names draw from a tiny alphabet (ASCII letters plus space); corpora
+        # with an unexpectedly wide alphabet skip count-based pruning rather
+        # than build a huge matrix.
+        alphabet = np.unique(self._codes)
+        alphabet = alphabet[alphabet != PAD]
+        if 0 < alphabet.size <= 64:
+            self._alphabet: np.ndarray | None = alphabet
+            self._char_counts = np.stack(
+                [(self._codes == code).sum(axis=1) for code in alphabet], axis=1
+            ).astype(np.int32)
+        else:
+            self._alphabet = None
+            self._char_counts = None
 
     # Introspection ------------------------------------------------------------------
 
@@ -236,17 +259,175 @@ class LinkageIndex:
             score=float(scores[best]),
         )
 
+    #: Upper bound on (query, candidate) pairs scored per pairwise kernel call;
+    #: keeps the DP working set a few dozen MB regardless of batch size.
+    _MAX_PAIRS_PER_CHUNK = 262_144
+
     def match_many(self, queries: Sequence[str]) -> list[MatchCandidate | None]:
         """The best match for every query, in query order.
 
-        Repeated queries are resolved once; every returned candidate carries
-        the query it answered.
+        Repeated queries are resolved once.  Unique queries that survive the
+        perfect-match short-circuit are bucketed by normalized length; each
+        bucket concatenates its blocked candidate rows into one
+        (query, candidate) pair list and scores it with the pairwise kernels,
+        then a per-query segment argmax picks the winner — bit-identical to
+        calling :meth:`best_match` per query (same scores, same lowest-row
+        tie-breaking, same threshold test).
         """
-        best_by_query: dict[str, MatchCandidate | None] = {}
-        results: list[MatchCandidate | None] = []
+        resolved: dict[str, MatchCandidate | None] = {}
+        pending: dict[int, list[tuple[str, str, np.ndarray]]] = {}
+        seen: set[str] = set()
         for query in queries:
             query = str(query)
-            if query not in best_by_query:
-                best_by_query[query] = self.best_match(query)
-            results.append(best_by_query[query])
-        return results
+            if query in seen:
+                continue
+            seen.add(query)
+            normalized = normalize_name(query)
+            if not normalized:
+                resolved[query] = None
+                continue
+            perfect = self._perfect.get(frozenset(normalized.split()))
+            if perfect is not None:
+                resolved[query] = MatchCandidate(
+                    query=query,
+                    candidate=self._names[perfect],
+                    candidate_index=perfect,
+                    score=1.0,
+                )
+                continue
+            rows = self._blocking.candidate_rows(normalized)
+            if rows.size == 0:
+                resolved[query] = None
+                continue
+            pending.setdefault(len(normalized), []).append((query, normalized, rows))
+        for entries in pending.values():
+            start = 0
+            while start < len(entries):
+                stop, total = start, 0
+                while stop < len(entries) and (
+                    stop == start
+                    or total + entries[stop][2].size <= self._MAX_PAIRS_PER_CHUNK
+                ):
+                    total += entries[stop][2].size
+                    stop += 1
+                self._resolve_pair_chunk(entries[start:stop], resolved)
+                start = stop
+        return [resolved[str(query)] for query in queries]
+
+    #: Slack subtracted from the threshold in the pruning bound comparison so
+    #: float rounding in the bound arithmetic can only *keep* extra pairs,
+    #: never drop one whose true score reaches the threshold.
+    _PRUNE_SLACK = 1e-9
+
+    def _resolve_pair_chunk(
+        self,
+        entries: Sequence[tuple[str, str, np.ndarray]],
+        resolved: dict[str, MatchCandidate | None],
+    ) -> None:
+        """Score one equal-length bucket chunk pairwise and record the winners.
+
+        The full composite score only decides a match when it reaches the
+        threshold, so pairs that provably cannot get there are pruned before
+        the expensive DP kernels using cheap per-pair bounds:
+
+        * the token-set Jaccard branch is computed **exactly** (one small
+          padded-id comparison per pair);
+        * with ``c`` the character-multiset overlap of the pair (one
+          ``min(counts).sum()`` over the corpus alphabet), the Levenshtein
+          distance is at least ``max(m, len) - c``, so
+          ``lev <= c / max(m, len)``, and Jaro matches are at most ``c``, so
+          ``jaro <= (c/m + c/len + 1) / 3``; the Winkler boost uses the
+          pair's **exact** common prefix (a 4-column comparison).
+
+        A pruned pair scores strictly below the threshold, so it can neither
+        be returned nor tie a returned candidate — the surviving pairs'
+        exact argmax is the global answer, bit-identical to
+        :meth:`best_match` (pinned by the hypothesis suite).
+        """
+        length = len(entries[0][1])
+        query_codes = np.empty((len(entries), length), dtype=np.int32)
+        token_sets = []
+        for row, (_, normalized, _) in enumerate(entries):
+            query_codes[row] = encode_query(normalized)
+            token_sets.append(set(normalized.split()))
+        token_width = max(len(tokens) for tokens in token_sets)
+        query_tokens = np.full((len(entries), token_width), QUERY_PAD, dtype=np.int64)
+        query_token_counts = np.empty(len(entries), dtype=np.int64)
+        for row, tokens in enumerate(token_sets):
+            query_token_counts[row] = len(tokens)
+            known = [self._vocabulary[t] for t in tokens if t in self._vocabulary]
+            query_tokens[row, : len(known)] = known
+
+        counts = np.fromiter(
+            (rows.size for _, _, rows in entries), dtype=np.intp, count=len(entries)
+        )
+        pair_rows = np.concatenate([rows for _, _, rows in entries])
+        pair_query = np.repeat(np.arange(len(entries)), counts)
+
+        token_set = token_jaccard_pairs(
+            query_tokens[pair_query],
+            query_token_counts[pair_query],
+            self._token_matrix[pair_rows],
+            self._token_counts[pair_rows],
+        )
+        lengths = self._lengths[pair_rows].astype(np.int64)
+        longest = np.maximum(length, lengths)
+        if self._char_counts is not None:
+            query_char_counts = np.stack(
+                [(query_codes == code).sum(axis=1) for code in self._alphabet],
+                axis=1,
+            ).astype(np.int32)
+            common = np.minimum(
+                self._char_counts[pair_rows], query_char_counts[pair_query]
+            ).sum(axis=1)
+        else:
+            common = np.minimum(length, lengths)
+        levenshtein_bound = common / np.maximum(longest, 1)
+        jaro_bound = np.where(
+            common > 0,
+            (common / length + common / np.maximum(lengths, 1) + 1.0) / 3.0,
+            0.0,
+        )
+        # Exact Winkler boost: the pair's true common prefix (up to 4 chars).
+        window = min(4, length, self._codes.shape[1])
+        if window:
+            equal = (
+                self._codes[pair_rows, :window] == query_codes[pair_query, :window]
+            )
+            prefix = equal.cumprod(axis=1).sum(axis=1)
+        else:
+            prefix = np.zeros(pair_rows.shape[0], dtype=np.int64)
+        jw_bound = jaro_bound + prefix * self.prefix_scale * (1.0 - jaro_bound)
+        cutoff = self.threshold - self._PRUNE_SLACK
+        viable = (0.6 * jw_bound + 0.4 * levenshtein_bound >= cutoff) | (
+            token_set >= cutoff
+        )
+
+        scores = np.full(pair_rows.shape[0], -np.inf)
+        kept = np.nonzero(viable)[0]
+        if kept.size:
+            queries = query_codes[pair_query[kept]]
+            codes = self._codes[pair_rows[kept]]
+            kept_lengths = self._lengths[pair_rows[kept]]
+            jaro_winkler = jaro_winkler_similarity_pairs(
+                queries, codes, kept_lengths, self.prefix_scale
+            )
+            levenshtein = levenshtein_similarity_pairs(queries, codes, kept_lengths)
+            scores[kept] = np.maximum(
+                0.6 * jaro_winkler + 0.4 * levenshtein, token_set[kept]
+            )
+
+        offset = 0
+        for (query, _, rows), count in zip(entries, counts):
+            segment = scores[offset : offset + count]
+            best = int(np.argmax(segment))
+            if segment[best] >= self.threshold:
+                resolved[query] = MatchCandidate(
+                    query=query,
+                    candidate=self._names[int(rows[best])],
+                    candidate_index=int(rows[best]),
+                    score=float(segment[best]),
+                )
+            else:
+                resolved[query] = None
+            offset += int(count)

@@ -1,18 +1,29 @@
 """Batched string-similarity kernels.
 
-Each kernel scores one query string against a whole candidate set in
-vectorized NumPy, and is an exact (bit-identical) replica of the scalar
-reference implementation in :mod:`repro.fusion.linkage` — the scalar
-functions are the executable specification, and the hypothesis suite in
+Each kernel scores query strings against whole candidate sets in vectorized
+NumPy, and is an exact (bit-identical) replica of the scalar reference
+implementation in :mod:`repro.fusion.linkage` — the scalar functions are the
+executable specification, and the hypothesis suite in
 ``tests/test_property_linkage.py`` pins the equivalence on arbitrary strings.
 
 Data layout
 -----------
 Candidate strings are pre-encoded once per corpus into a padded ``int32``
 character-code matrix (``(n, width)``; :data:`PAD` marks cells past a string's
-end) plus a length vector.  A query is encoded on the fly into a 1-D code
-array.  Kernels then run one dynamic-programming or matching step per *query
-character*, each step vectorized across every candidate at once:
+end) plus a length vector.  Kernels come in two aligned flavours:
+
+* the ``*_batch`` kernels score **one** query (a 1-D code array) against every
+  candidate row;
+* the ``*_pairs`` kernels score **aligned pairs**: row ``i`` of an
+  ``(n, m)`` query-code matrix against row ``i`` of the candidate matrix.
+  This is how :meth:`repro.linkage.index.LinkageIndex.match_many` batches the
+  *query* axis — all queries of one length share a DP, each paired with its
+  own blocked candidates.  The ``*_batch`` kernels are thin wrappers that
+  broadcast their single query across the pair axis, so both flavours are one
+  implementation.
+
+Kernels run one dynamic-programming or matching step per *query character*,
+each step vectorized across every (query, candidate) pair at once:
 
 * **Levenshtein** — the classic DP row recurrence.  The in-row dependency
   (``current[j-1] + 1``, the insertion chain) is resolved with a min-plus
@@ -34,6 +45,7 @@ import numpy as np
 
 __all__ = [
     "PAD",
+    "QUERY_PAD",
     "encode_query",
     "encode_strings",
     "levenshtein_distance_batch",
@@ -41,10 +53,19 @@ __all__ = [
     "jaro_similarity_batch",
     "jaro_winkler_similarity_batch",
     "token_jaccard_batch",
+    "levenshtein_distance_pairs",
+    "levenshtein_similarity_pairs",
+    "jaro_similarity_pairs",
+    "jaro_winkler_similarity_pairs",
+    "token_jaccard_pairs",
 ]
 
 #: Padding code for cells past a string's end; never equals a real character.
 PAD = np.int32(-1)
+
+#: Padding id for query token-id matrices; distinct from :data:`PAD` so a
+#: padded query token never equals a padded corpus token.
+QUERY_PAD = np.int64(-2)
 
 
 def encode_query(text: str) -> np.ndarray:
@@ -65,49 +86,75 @@ def encode_strings(strings: Sequence[str]) -> tuple[np.ndarray, np.ndarray]:
     return codes, lengths
 
 
-def levenshtein_distance_batch(
-    query: np.ndarray, codes: np.ndarray, lengths: np.ndarray
-) -> np.ndarray:
-    """Edit distance of ``query`` against every encoded candidate.
+def _broadcast_query(query: np.ndarray, n_rows: int) -> np.ndarray:
+    """View one 1-D query-code array as an ``(n_rows, m)`` pair matrix."""
+    return np.broadcast_to(query, (n_rows, query.shape[0]))
 
-    One DP step per query character, vectorized over all candidates; the
-    insertion chain inside a DP row is a min-plus prefix scan (see the module
-    docstring).  Padding cells always cost a substitution, and the answer for
-    row ``r`` is read at column ``lengths[r]``, so padding never leaks into
-    the result.
+
+def levenshtein_distance_pairs(
+    queries: np.ndarray, codes: np.ndarray, lengths: np.ndarray
+) -> np.ndarray:
+    """Edit distance of aligned (query, candidate) code-row pairs.
+
+    ``queries`` is an ``(n, m)`` code matrix: row ``i`` is scored against
+    ``codes[i]``.  One DP step per query position, vectorized over all pairs;
+    the insertion chain inside a DP row is a min-plus prefix scan (see the
+    module docstring).  Padding cells always cost a substitution, and the
+    answer for row ``r`` is read at column ``lengths[r]``, so padding never
+    leaks into the result.
     """
     n_rows, width = codes.shape
     span = np.arange(width + 1, dtype=np.int32)
     dp = np.broadcast_to(span, (n_rows, width + 1)).copy()
-    for position, char in enumerate(query, start=1):
+    for position in range(1, queries.shape[1] + 1):
+        chars = queries[:, position - 1, None]
         stepped = np.empty_like(dp)
         stepped[:, 0] = position
-        np.minimum(dp[:, 1:] + 1, dp[:, :-1] + (codes != char), out=stepped[:, 1:])
+        np.minimum(dp[:, 1:] + 1, dp[:, :-1] + (codes != chars), out=stepped[:, 1:])
         dp = np.minimum.accumulate(stepped - span, axis=1) + span
     return dp[np.arange(n_rows), lengths].astype(np.int64)
+
+
+def levenshtein_distance_batch(
+    query: np.ndarray, codes: np.ndarray, lengths: np.ndarray
+) -> np.ndarray:
+    """Edit distance of one ``query`` against every encoded candidate."""
+    return levenshtein_distance_pairs(
+        _broadcast_query(query, codes.shape[0]), codes, lengths
+    )
+
+
+def levenshtein_similarity_pairs(
+    queries: np.ndarray, codes: np.ndarray, lengths: np.ndarray
+) -> np.ndarray:
+    """Pairwise edit distance normalized into ``[0, 1]`` (1.0 when both empty)."""
+    distances = levenshtein_distance_pairs(queries, codes, lengths)
+    longest = np.maximum(queries.shape[1], lengths).astype(np.int64)
+    return np.where(longest > 0, 1.0 - distances / np.maximum(longest, 1), 1.0)
 
 
 def levenshtein_similarity_batch(
     query: np.ndarray, codes: np.ndarray, lengths: np.ndarray
 ) -> np.ndarray:
     """Edit distance normalized into ``[0, 1]`` (1.0 when both strings empty)."""
-    distances = levenshtein_distance_batch(query, codes, lengths)
-    longest = np.maximum(len(query), lengths).astype(np.int64)
-    return np.where(longest > 0, 1.0 - distances / np.maximum(longest, 1), 1.0)
+    return levenshtein_similarity_pairs(
+        _broadcast_query(query, codes.shape[0]), codes, lengths
+    )
 
 
-def jaro_similarity_batch(
-    query: np.ndarray, codes: np.ndarray, lengths: np.ndarray
+def jaro_similarity_pairs(
+    queries: np.ndarray, codes: np.ndarray, lengths: np.ndarray
 ) -> np.ndarray:
-    """Jaro similarity of ``query`` against every encoded candidate.
+    """Jaro similarity of aligned (query, candidate) code-row pairs.
 
     Replays the scalar greedy matching exactly: for each query position, each
-    candidate claims the first unclaimed equal character inside the Jaro
+    pair claims the first unclaimed equal candidate character inside the Jaro
     window; transpositions compare the claimed characters of both sides in
-    order.
+    order.  All queries must share one length ``m`` (the pair-bucketing
+    invariant of ``match_many``).
     """
     n_rows, width = codes.shape
-    m = len(query)
+    m = queries.shape[1]
     lengths = lengths.astype(np.int64)
     if m == 0:
         return np.where(lengths == 0, 1.0, 0.0)
@@ -115,10 +162,11 @@ def jaro_similarity_batch(
     columns = np.arange(width)
     right_free = np.ones((n_rows, width), dtype=bool)
     left_matched = np.zeros((n_rows, m), dtype=bool)
-    for i, char in enumerate(query):
+    for i in range(m):
+        chars = queries[:, i, None]
         start = np.maximum(i - window, 0)
         end = np.minimum(i + window + 1, lengths[:, None])
-        available = (columns >= start) & (columns < end) & right_free & (codes == char)
+        available = (columns >= start) & (columns < end) & right_free & (codes == chars)
         hit = available.any(axis=1)
         first = available.argmax(axis=1)
         right_free[hit, first[hit]] = False
@@ -130,7 +178,7 @@ def jaro_similarity_batch(
     left_order = np.argsort(~left_matched, axis=1, kind="stable")
     right_order = np.argsort(right_free, axis=1, kind="stable")
     compare = min(m, width)
-    left_chars = query[left_order[:, :compare]]
+    left_chars = np.take_along_axis(queries, left_order[:, :compare], axis=1)
     right_chars = np.take_along_axis(codes, right_order[:, :compare], axis=1)
     in_match = np.arange(compare) < matches[:, None]
     transpositions = ((left_chars != right_chars) & in_match).sum(axis=1) // 2
@@ -143,6 +191,34 @@ def jaro_similarity_batch(
     return np.where(matches == 0, 0.0, jaro)
 
 
+def jaro_similarity_batch(
+    query: np.ndarray, codes: np.ndarray, lengths: np.ndarray
+) -> np.ndarray:
+    """Jaro similarity of one ``query`` against every encoded candidate."""
+    return jaro_similarity_pairs(
+        _broadcast_query(query, codes.shape[0]), codes, lengths
+    )
+
+
+def jaro_winkler_similarity_pairs(
+    queries: np.ndarray,
+    codes: np.ndarray,
+    lengths: np.ndarray,
+    prefix_scale: float = 0.1,
+) -> np.ndarray:
+    """Pairwise Jaro boosted by the common prefix (up to 4 characters)."""
+    jaro = jaro_similarity_pairs(queries, codes, lengths)
+    limit = min(4, queries.shape[1], codes.shape[1])
+    if limit == 0:
+        return jaro
+    # PAD cells never equal a query character, so candidates shorter than the
+    # prefix window stop the cumulative product exactly where zip() stops the
+    # scalar loop.
+    equal = codes[:, :limit] == queries[:, :limit]
+    prefix = equal.cumprod(axis=1).sum(axis=1)
+    return jaro + prefix * prefix_scale * (1.0 - jaro)
+
+
 def jaro_winkler_similarity_batch(
     query: np.ndarray,
     codes: np.ndarray,
@@ -150,16 +226,33 @@ def jaro_winkler_similarity_batch(
     prefix_scale: float = 0.1,
 ) -> np.ndarray:
     """Jaro boosted by the common prefix (up to 4 characters), batched."""
-    jaro = jaro_similarity_batch(query, codes, lengths)
-    limit = min(4, len(query), codes.shape[1])
-    if limit == 0:
-        return jaro
-    # PAD cells never equal a query character, so candidates shorter than the
-    # prefix window stop the cumulative product exactly where zip() stops the
-    # scalar loop.
-    equal = codes[:, :limit] == query[:limit]
-    prefix = equal.cumprod(axis=1).sum(axis=1)
-    return jaro + prefix * prefix_scale * (1.0 - jaro)
+    return jaro_winkler_similarity_pairs(
+        _broadcast_query(query, codes.shape[0]), codes, lengths, prefix_scale
+    )
+
+
+def token_jaccard_pairs(
+    query_token_matrix: np.ndarray,
+    query_token_counts: np.ndarray,
+    token_matrix: np.ndarray,
+    token_counts: np.ndarray,
+) -> np.ndarray:
+    """Pairwise Jaccard of query token-id sets against corpus token-id rows.
+
+    ``query_token_matrix`` holds each query's *known* (in-vocabulary) unique
+    token ids padded with :data:`QUERY_PAD`, aligned row-for-row with
+    ``token_matrix`` (each corpus name's unique ids padded with :data:`PAD`);
+    ``query_token_counts`` counts all unique query tokens, known or not
+    (unknown tokens enlarge the union but can never intersect).  The two pad
+    values are distinct, so padding never fakes an intersection.
+    """
+    intersection = (
+        (token_matrix[:, :, None] == query_token_matrix[:, None, :])
+        .any(axis=2)
+        .sum(axis=1)
+    )
+    union = query_token_counts + token_counts.astype(np.int64) - intersection
+    return np.where(union > 0, intersection / np.maximum(union, 1), 1.0)
 
 
 def token_jaccard_batch(

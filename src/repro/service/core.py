@@ -9,8 +9,10 @@ JSON/HTTP layer in :mod:`repro.service.http`:
   becomes the dataset id, so registering identical content twice is a no-op;
 * request an anonymized **release** at level *k* under any registered
   algorithm (MDAV, Mondrian, Datafly, greedy clustering, plain suppression) —
-  releases are rendered to CSV once and memoized in the two-tier cache, so a
-  repeat request is an O(1) dictionary hit returning byte-identical text;
+  releases are memoized in the two-tier cache, so a repeat request is an O(1)
+  dictionary hit; the CSV rendering is lazy and cached on the artifact, so
+  attack/FRED requests that only need estimates never render it, while every
+  client fetching the CSV receives byte-identical text;
 * run the web-based **fusion attack** against a release (memoized the same
   way) — the linkage **harvest** is memoized separately, keyed by
   (identifier-column fingerprint, auxiliary-corpus fingerprint), so repeated
@@ -29,7 +31,7 @@ from __future__ import annotations
 import hashlib
 import math
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
@@ -90,11 +92,14 @@ def _identifier_fingerprint(names: Sequence[str]) -> str:
 
 @dataclass(frozen=True)
 class ReleaseArtifact:
-    """A memoized release: the table plus its one-time CSV rendering.
+    """A memoized release: the table plus its lazily cached CSV rendering.
 
-    ``csv_text`` is rendered exactly once, when the release is first
-    computed; every subsequent (cached) request serves the same string, which
-    is what makes concurrent responses byte-identical by construction.
+    The CSV text is **not** rendered when the release is computed — attack
+    and FRED requests that only need estimates never pay for it.  The first
+    access to :attr:`csv_text` renders once and caches the string on the
+    artifact (also carrying it through cache spills), so every subsequent
+    request serves the same bytes; :func:`~repro.dataset.io.render_csv` is
+    deterministic, which keeps concurrent first renders byte-identical too.
     """
 
     dataset: str
@@ -102,8 +107,15 @@ class ReleaseArtifact:
     k: int
     style: str
     table: Table
-    csv_text: str
     class_sizes: tuple[int, ...]
+    csv_cache: str | None = field(default=None, repr=False, compare=False)
+
+    @property
+    def csv_text(self) -> str:
+        """The release rendered to CSV (rendered on first use, then cached)."""
+        if self.csv_cache is None:
+            object.__setattr__(self, "csv_cache", render_csv(self.table))
+        return self.csv_cache  # type: ignore[return-value]
 
     @property
     def minimum_class_size(self) -> int:
@@ -304,7 +316,6 @@ class AnonymizationService:
             k=k,
             style=style,
             table=result.release,
-            csv_text=render_csv(result.release),
             class_sizes=tuple(c.size for c in result.classes),
         )
 

@@ -110,6 +110,31 @@ class TestBlockingProperties:
             assert score == full_by_index[index]
 
 
+class TestMatchManyQueryBatching:
+    """The query-axis-batched ``match_many`` must reproduce the per-query
+    ``best_match`` loop bit for bit on arbitrary name sets — same winners,
+    same lowest-row tie-breaking, same scores, including duplicates and
+    queries that hit the perfect-match short-circuit."""
+
+    @given(
+        st.lists(name_strategy, min_size=1, max_size=10),
+        st.lists(name_strategy, min_size=1, max_size=10),
+    )
+    @settings(max_examples=75)
+    def test_match_many_equals_per_query_best_match(self, corpus, queries):
+        batch = queries + queries[: len(queries) // 2]  # exercise deduplication
+        for blocking in ("qgram", "none"):
+            index = LinkageIndex(corpus, threshold=0.5, blocking=blocking)
+            assert index.match_many(batch) == [index.best_match(q) for q in batch]
+
+    @given(st.lists(name_strategy, min_size=1, max_size=8), name_strategy)
+    @settings(max_examples=50)
+    def test_corpus_names_match_themselves_through_the_batch(self, corpus, extra):
+        index = LinkageIndex(corpus, threshold=0.5)
+        batch = list(corpus) + [extra]
+        assert index.match_many(batch) == [index.best_match(q) for q in batch]
+
+
 class TestNormalizationProperties:
     @given(text_strategy)
     @settings(max_examples=200)
