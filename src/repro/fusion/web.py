@@ -16,20 +16,49 @@ the channel end to end while preserving every property the attack relies on:
 The corpus implements :class:`~repro.fusion.auxiliary.AuxiliarySource`, so the
 attack pipeline is agnostic to whether it talks to this simulation or to a
 table of genuinely harvested data.
+
+Columnar construction
+---------------------
+:meth:`SimulatedWebCorpus.from_profiles` is fully vectorized: **one** RNG pass
+draws every coverage, name-variant and noise value up front as arrays
+(``coverage``, ``variant``, ``variant choice``, an ``(n, attrs)`` noise block,
+and the distractor fact block — in that fixed order), and page facts are
+stored as NaN-masked column arrays rather than per-page dicts.
+:class:`WebPage` objects are **lazy views**: the ``pages`` list is only
+materialized when someone actually asks for it (examples, rendering), so
+building and harvesting a million-page corpus never constructs a million fact
+dicts.  Because all draws happen up front, each person's page content depends
+only on the seed, the profile order and the attribute count — not on which
+other people happen to be covered.
+
+.. note::
+   The historical implementation drew random values per profile inside a
+   Python loop; the vectorized pass consumes the RNG stream in a different
+   order, so corpora built by this version differ (for the same seed) from
+   pre-vectorization corpora.  Golden tests were re-baselined accordingly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 import numpy as np
 
 from repro.exceptions import AuxiliarySourceError
-from repro.fusion.auxiliary import AuxiliaryRecord, AuxiliarySource
+from repro.fusion.auxiliary import (
+    AuxiliaryRecord,
+    AuxiliarySource,
+    HarvestRecords,
+)
 from repro.fusion.linkage import NameMatcher
 
 __all__ = ["WebPage", "SimulatedWebCorpus", "name_variant"]
+
+_EXTRA_FACT_KEYS = ("employer", "position")
+
+#: Sentinel distinguishing "key absent" from an explicit ``None`` value.
+_MISSING = object()
 
 
 @dataclass(frozen=True)
@@ -49,13 +78,12 @@ class WebPage:
         return "\n".join(lines)
 
 
-def name_variant(name: str, rng: np.random.Generator) -> str:
-    """A plausible web rendering of ``name`` (initials, reordering, titles)."""
-    tokens = str(name).split()
+def _apply_variant(name: str, choice: int) -> str:
+    """The deterministic variant of ``name`` selected by ``choice`` (0..4)."""
+    tokens = name.split()
     if len(tokens) < 2:
-        return str(name)
+        return name
     first, last = tokens[0], tokens[-1]
-    choice = rng.integers(0, 5)
     if choice == 0:
         return f"{first} {last}"
     if choice == 1:
@@ -67,14 +95,28 @@ def name_variant(name: str, rng: np.random.Generator) -> str:
     return f"{first} {tokens[1][0]}. {last}" if len(tokens) > 2 else f"{first} {last}"
 
 
-@dataclass
+def name_variant(name: str, rng: np.random.Generator) -> str:
+    """A plausible web rendering of ``name`` (initials, reordering, titles)."""
+    name = str(name)
+    if len(name.split()) < 2:
+        return name
+    return _apply_variant(name, int(rng.integers(0, 5)))
+
+
 class SimulatedWebCorpus(AuxiliarySource):
     """A searchable corpus of synthetic person pages.
+
+    Page content lives in column arrays — owner/displayed-name lists, one
+    NaN-masked float array per numeric fact, object arrays only for the rare
+    non-numeric facts — and :attr:`pages` is a lazily materialized view.  The
+    linkage index over displayed names is also built lazily, on the first
+    search: corpus *construction* is pure data-plane work.
 
     Parameters
     ----------
     pages:
-        The person pages making up the corpus.
+        The person pages making up the corpus (the compatibility
+        constructor; :meth:`from_profiles` builds columnar corpora directly).
     attribute_names:
         Numeric fact names the corpus exposes (harvestable auxiliary attributes).
     linkage_threshold:
@@ -85,23 +127,160 @@ class SimulatedWebCorpus(AuxiliarySource):
         (``"qgram"``, ``"first-letter"`` or ``"none"``).
     """
 
-    pages: list[WebPage]
-    attribute_names: tuple[str, ...]
-    linkage_threshold: float = 0.82
-    blocking: str = "qgram"
-    qgram_size: int = 2
-    _matcher: NameMatcher = field(init=False, repr=False)
-
-    def __post_init__(self) -> None:
-        if not self.pages:
+    def __init__(
+        self,
+        pages: Sequence[WebPage] | None = None,
+        attribute_names: Sequence[str] = (),
+        linkage_threshold: float = 0.82,
+        blocking: str = "qgram",
+        qgram_size: int = 2,
+    ) -> None:
+        self.attribute_names = tuple(attribute_names)
+        self.linkage_threshold = linkage_threshold
+        self.blocking = blocking
+        self.qgram_size = qgram_size
+        self._matcher_cache: NameMatcher | None = None
+        self._pages_cache: list[WebPage] | None = None
+        if pages is None:
             raise AuxiliarySourceError("a web corpus needs at least one page")
-        self._matcher = NameMatcher(
-            [page.displayed_name for page in self.pages],
-            threshold=self.linkage_threshold,
-            use_blocking=self.blocking != "none",
-            blocking=self.blocking if self.blocking != "none" else "qgram",
-            qgram_size=self.qgram_size,
+        pages = list(pages)
+        if not pages:
+            raise AuxiliarySourceError("a web corpus needs at least one page")
+        # Decompose the given pages into the canonical columnar layout.
+        self._owners = [page.owner for page in pages]
+        self._displayed = [page.displayed_name for page in pages]
+        self._urls: list[str] | None = [page.url for page in pages]
+        self._url_numbers: np.ndarray | None = None
+        self._url_distractor_offset = 0
+        n = len(pages)
+        extra_keys = list(_EXTRA_FACT_KEYS)
+        for page in pages:
+            for key in page.facts:
+                if key not in self.attribute_names and key not in extra_keys:
+                    extra_keys.append(key)
+        self._fact_numeric: dict[str, np.ndarray] = {}
+        self._fact_objects: dict[str, np.ndarray] = {}
+        for name in self.attribute_names:
+            numeric = np.full(n, np.nan)
+            objects = None
+            for i, page in enumerate(pages):
+                value = page.facts.get(name)
+                if value is None:
+                    continue
+                if not isinstance(value, str):
+                    # The float view feeds the numeric harvest block (bools
+                    # and ints count as numbers there, exactly like
+                    # AuxiliaryRecord.numeric_attribute).
+                    numeric[i] = float(value)
+                if type(value) is not float:
+                    # Preserve the original object (str, int, bool, ...) so
+                    # record attributes and page views round-trip the given
+                    # facts verbatim.
+                    if objects is None:
+                        objects = np.full(n, None, dtype=object)
+                    objects[i] = value
+            self._fact_numeric[name] = numeric
+            if objects is not None:
+                self._fact_objects[name] = objects
+        self._extras: dict[str, np.ndarray] = {}
+        for key in extra_keys:
+            values = np.full(n, None, dtype=object)
+            present = False
+            for i, page in enumerate(pages):
+                if key in page.facts:
+                    values[i] = page.facts[key]
+                    present = True
+            if present:
+                self._extras[key] = values
+        self._pages_cache = pages
+
+    @classmethod
+    def _from_columns(
+        cls,
+        owners: list[str],
+        displayed: list[str],
+        urls: list[str] | None,
+        fact_numeric: dict[str, np.ndarray],
+        fact_objects: dict[str, np.ndarray],
+        extras: dict[str, np.ndarray],
+        attribute_names: tuple[str, ...],
+        linkage_threshold: float,
+        blocking: str,
+        qgram_size: int,
+        url_numbers: np.ndarray | None = None,
+        url_distractor_offset: int = 0,
+    ) -> "SimulatedWebCorpus":
+        corpus = cls.__new__(cls)
+        corpus.attribute_names = attribute_names
+        corpus.linkage_threshold = linkage_threshold
+        corpus.blocking = blocking
+        corpus.qgram_size = qgram_size
+        corpus._matcher_cache = None
+        corpus._pages_cache = None
+        corpus._owners = owners
+        corpus._displayed = displayed
+        corpus._urls = urls
+        corpus._url_numbers = url_numbers
+        corpus._url_distractor_offset = url_distractor_offset
+        corpus._fact_numeric = fact_numeric
+        corpus._fact_objects = fact_objects
+        corpus._extras = extras
+        return corpus
+
+    # Lazy views -------------------------------------------------------------------
+
+    def _url(self, index: int) -> str:
+        """The page URL, synthesized on demand for generated corpora."""
+        if self._urls is not None:
+            return self._urls[index]
+        number = int(self._url_numbers[index])
+        if index >= self._url_distractor_offset:
+            return f"https://blogs.example.com/post{number}"
+        return f"https://people.example.edu/~person{number}"
+
+    @property
+    def _matcher(self) -> NameMatcher:
+        """The linkage index over displayed names, built on first use."""
+        if self._matcher_cache is None:
+            self._matcher_cache = NameMatcher(
+                self._displayed,
+                threshold=self.linkage_threshold,
+                use_blocking=self.blocking != "none",
+                blocking=self.blocking if self.blocking != "none" else "qgram",
+                qgram_size=self.qgram_size,
+            )
+        return self._matcher_cache
+
+    def _facts_of(self, index: int) -> dict[str, float | str]:
+        """The fact dict of one page, assembled from the fact columns."""
+        facts: dict[str, float | str] = {}
+        for name in self.attribute_names:
+            objects = self._fact_objects.get(name)
+            if objects is not None and objects[index] is not None:
+                facts[name] = objects[index]
+                continue
+            value = self._fact_numeric[name][index]
+            if not np.isnan(value):
+                facts[name] = float(value)
+        for key, values in self._extras.items():
+            if values[index] is not None and key not in facts:
+                facts[key] = values[index]
+        return facts
+
+    def _page(self, index: int) -> WebPage:
+        return WebPage(
+            owner=self._owners[index],
+            displayed_name=self._displayed[index],
+            url=self._url(index),
+            facts=self._facts_of(index),
         )
+
+    @property
+    def pages(self) -> list[WebPage]:
+        """The corpus pages as :class:`WebPage` views (materialized lazily)."""
+        if self._pages_cache is None:
+            self._pages_cache = [self._page(i) for i in range(len(self._owners))]
+        return self._pages_cache
 
     # Construction ----------------------------------------------------------------
 
@@ -142,68 +321,113 @@ class SimulatedWebCorpus(AuxiliarySource):
         blocking / qgram_size:
             Blocking knobs of the corpus's linkage index.
         seed:
-            RNG seed; the corpus is fully deterministic given the seed.
+            RNG seed; the corpus is fully deterministic given the seed (every
+            draw is made up front in one vectorized pass — see the module
+            docstring).
         """
         if not 0.0 <= coverage <= 1.0:
             raise AuxiliarySourceError("coverage must lie in [0, 1]")
         if noise_level < 0.0:
             raise AuxiliarySourceError("noise_level must be non-negative")
+        attribute_names = tuple(attribute_names)
+        try:
+            raw_names = [profile["name"] for profile in profiles]
+        except KeyError as exc:
+            raise AuxiliarySourceError("every profile needs a 'name' entry") from exc
+
+        n = len(profiles)
         rng = np.random.default_rng(seed)
-        pages: list[WebPage] = []
-        for index, profile in enumerate(profiles):
-            if "name" not in profile:
-                raise AuxiliarySourceError("every profile needs a 'name' entry")
-            if rng.random() > coverage:
+        coverage_draws = rng.random(n)
+        variant_draws = rng.random(n)
+        variant_choices = rng.integers(0, 5, size=n)
+        noise_factors = 1.0 + rng.normal(0.0, noise_level, size=(n, len(attribute_names)))
+        distractor_facts = rng.uniform(
+            0.0, 1.0, size=(distractor_count, len(attribute_names))
+        )
+
+        covered = np.nonzero(coverage_draws <= coverage)[0]
+        covered_list = covered.tolist()
+        covered_profiles = [profiles[i] for i in covered_list]
+
+        owners: list[str] = []
+        displayed: list[str] = []
+        for i, variant, choice in zip(
+            covered_list,
+            (variant_draws[covered] < name_variant_probability).tolist(),
+            variant_choices[covered].tolist(),
+        ):
+            name = str(raw_names[i])
+            owners.append(name)
+            displayed.append(_apply_variant(name, choice) if variant else name)
+
+        fact_numeric: dict[str, np.ndarray] = {}
+        fact_objects: dict[str, np.ndarray] = {}
+        for column, attribute in enumerate(attribute_names):
+            raw = [profile.get(attribute) for profile in covered_profiles]
+            numeric, objects = _fact_column(raw, noise_factors[covered, column])
+            fact_numeric[attribute] = numeric
+            if objects is not None:
+                fact_objects[attribute] = objects
+
+        extras: dict[str, np.ndarray] = {}
+        for key in _EXTRA_FACT_KEYS:
+            if key in attribute_names:
                 continue
-            name = str(profile["name"])
-            displayed = (
-                name_variant(name, rng)
-                if rng.random() < name_variant_probability
-                else name
-            )
-            facts: dict[str, float | str] = {}
-            for attribute in attribute_names:
-                value = profile.get(attribute)
-                if value is None:
-                    continue
-                if isinstance(value, (int, float)) and not isinstance(value, bool):
-                    noisy = float(value) * (1.0 + rng.normal(0.0, noise_level))
-                    facts[attribute] = float(noisy)
-                else:
-                    facts[attribute] = str(value)
-            for extra_key in ("employer", "position"):
-                if extra_key in profile and extra_key not in facts:
-                    facts[extra_key] = str(profile[extra_key])
-            pages.append(
-                WebPage(
-                    owner=name,
-                    displayed_name=displayed,
-                    url=f"https://people.example.edu/~person{index}",
-                    facts=facts,
-                )
-            )
+            raw = [profile.get(key, _MISSING) for profile in covered_profiles]
+            values = [
+                None
+                if value is _MISSING
+                else (value if type(value) is str else str(value))
+                for value in raw
+            ]
+            if values.count(None) != len(values):
+                column = np.empty(len(values), dtype=object)
+                column[:] = values
+                extras[key] = column
 
-        for d in range(distractor_count):
-            fake_name = f"{_DISTRACTOR_FIRST[d % len(_DISTRACTOR_FIRST)]} {_DISTRACTOR_LAST[(d * 7) % len(_DISTRACTOR_LAST)]}"
-            facts = {
-                attribute: float(rng.uniform(0.0, 1.0)) for attribute in attribute_names
-            }
-            pages.append(
-                WebPage(
-                    owner=fake_name,
-                    displayed_name=fake_name,
-                    url=f"https://blogs.example.com/post{d}",
-                    facts=facts,
+        # Distractor pages: deterministic fake names, uniform random facts.
+        page_count = len(owners)
+        if distractor_count:
+            for d in range(distractor_count):
+                fake_name = (
+                    f"{_DISTRACTOR_FIRST[d % len(_DISTRACTOR_FIRST)]} "
+                    f"{_DISTRACTOR_LAST[(d * 7) % len(_DISTRACTOR_LAST)]}"
                 )
-            )
+                owners.append(fake_name)
+                displayed.append(fake_name)
+            for column, attribute in enumerate(attribute_names):
+                fact_numeric[attribute] = np.concatenate(
+                    [fact_numeric[attribute], distractor_facts[:, column]]
+                )
+                if attribute in fact_objects:
+                    fact_objects[attribute] = np.concatenate(
+                        [
+                            fact_objects[attribute],
+                            np.full(distractor_count, None, dtype=object),
+                        ]
+                    )
+            for key in list(extras):
+                extras[key] = np.concatenate(
+                    [extras[key], np.full(distractor_count, None, dtype=object)]
+                )
+            page_count += distractor_count
 
-        if not pages:
+        if not page_count:
             raise AuxiliarySourceError(
                 "corpus generation produced no pages; increase coverage or profile count"
             )
-        return cls(
-            pages=pages,
-            attribute_names=tuple(attribute_names),
+        return cls._from_columns(
+            owners=owners,
+            displayed=displayed,
+            urls=None,
+            url_numbers=np.concatenate(
+                [covered, np.arange(distractor_count, dtype=np.intp)]
+            ),
+            url_distractor_offset=len(covered_list),
+            fact_numeric=fact_numeric,
+            fact_objects=fact_objects,
+            extras=extras,
+            attribute_names=attribute_names,
             linkage_threshold=linkage_threshold,
             blocking=blocking,
             qgram_size=qgram_size,
@@ -212,12 +436,11 @@ class SimulatedWebCorpus(AuxiliarySource):
     # AuxiliarySource interface ------------------------------------------------------
 
     def _record_for_page(self, page_index: int, score: float) -> AuxiliaryRecord:
-        page = self.pages[page_index]
         return AuxiliaryRecord(
-            name=page.displayed_name,
-            attributes=dict(page.facts),
+            name=self._displayed[page_index],
+            attributes=self._facts_of(page_index),
             confidence=min(score, 1.0),
-            source=page.url,
+            source=self._url(page_index),
         )
 
     def search(self, name: str) -> list[AuxiliaryRecord]:
@@ -236,12 +459,36 @@ class SimulatedWebCorpus(AuxiliarySource):
             for match in self._matcher.match_many(names)
         ]
 
+    def harvest_records(self, names: Sequence[str]) -> HarvestRecords:
+        """Bulk harvest with numeric fact columns gathered straight from storage."""
+        queried = [str(name) for name in names]
+        matches = self._matcher.match_many(queried)
+        rows = np.fromiter(
+            (-1 if match is None else match.candidate_index for match in matches),
+            dtype=np.intp,
+            count=len(matches),
+        )
+        records = [
+            None
+            if match is None
+            else self._record_for_page(match.candidate_index, match.score)
+            for match in matches
+        ]
+        hit = rows >= 0
+        gather = np.where(hit, rows, 0)
+        numeric = {}
+        for name in self.attribute_names:
+            column = self._fact_numeric[name][gather]
+            column[~hit] = np.nan
+            numeric[name] = column
+        return HarvestRecords(records, numeric)
+
     # Introspection helpers ------------------------------------------------------------
 
     @property
     def size(self) -> int:
         """Number of pages in the corpus."""
-        return len(self.pages)
+        return len(self._owners)
 
     def coverage_of(self, names: Sequence[str]) -> float:
         """Fraction of ``names`` for which at least one page links above threshold."""
@@ -249,6 +496,49 @@ class SimulatedWebCorpus(AuxiliarySource):
             return 0.0
         hits = sum(1 for record in self.lookup_many(list(names)) if record is not None)
         return hits / len(names)
+
+
+def _fact_column(
+    raw: list[object], noise_factor: np.ndarray
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """One attribute's raw profile values as (noisy numeric, object overrides).
+
+    Numeric values (bools excluded) are noised multiplicatively; strings and
+    other non-numeric values keep their ``str()`` form in a sparse object
+    column; ``None`` / absent values are NaN in the numeric column.
+
+    The common all-numeric case is detected by one ``np.asarray`` dtype probe
+    (no per-value type dispatch); only columns with missing or non-numeric
+    values pay the per-cell loop.
+    """
+    n = len(raw)
+    try:
+        probe = np.asarray(raw)
+    except ValueError:  # ragged cells numpy cannot even box
+        probe = np.empty(0, dtype=object)
+    if (
+        probe.shape == (n,)
+        and probe.dtype.kind in "fiu"
+        # np.asarray silently coerces a bool mixed into a numeric column
+        # (an all-bool column probes as kind "b"); keep the bools-are-text
+        # contract by sending such columns through the per-cell path.
+        and not any(isinstance(value, (bool, np.bool_)) for value in raw)
+    ):
+        return probe.astype(np.float64, copy=False) * noise_factor, None
+    numeric = np.full(n, np.nan)
+    objects = np.full(n, None, dtype=object)
+    any_object = False
+    for i, value in enumerate(raw):
+        if value is None:
+            continue
+        if isinstance(value, (bool, np.bool_)) or not isinstance(
+            value, (int, float, np.integer, np.floating)
+        ):
+            objects[i] = str(value)
+            any_object = True
+        else:
+            numeric[i] = float(value) * noise_factor[i]
+    return numeric, objects if any_object else None
 
 
 _DISTRACTOR_FIRST = (

@@ -23,16 +23,21 @@ from repro.experiments.figures import default_setup, derive_thresholds, run_swee
 
 # Snapshot of the seeded scenario: default_setup(count=40, seed=5,
 # levels=(2, 3, 4, 6, 8)) with the default minmax 0.5/0.5 objective.
+# Re-baselined when SimulatedWebCorpus.from_profiles switched to one
+# vectorized up-front RNG pass (the same seed now yields a different — but
+# equally deterministic — corpus, so the attack-side numbers shifted; the
+# release-side protection_before/utility values are corpus-independent and
+# unchanged, and the chosen k* is the same).
 GOLDEN_LEVELS = (2, 3, 4, 6, 8)
 GOLDEN_OPTIMAL_LEVEL = 2
-GOLDEN_THRESHOLDS = (356817004.44188833, 0.0035714285714285713)
+GOLDEN_THRESHOLDS = (365460514.83677566, 0.0035714285714285713)
 GOLDEN = {
     # level: (protection_before, protection_after, utility, H_k, feasible)
-    2: (504918862.975125, 357277253.7138318, 0.0125, 0.5111817740491673, True),
-    3: (504918872.6788125, 356817004.44188833, 0.008064516129032258, 0.2634408602150537, True),
-    4: (504918884.4165, 361592687.6049703, 0.00625, 0.2826920757553232, True),
-    6: (504918886.899125, 357109522.9911202, 0.0035714285714285713, 0.030916273395220215, True),
-    8: (504918901.49825, 377397337.6662805, 0.003125, 0.5, False),
+    2: (504918862.975125, 366033013.3112835, 0.0125, 0.594156583538417, True),
+    3: (504918872.6788125, 365460514.83677566, 0.008064516129032258, 0.34259088190737785, True),
+    4: (504918884.4165, 370712412.09937036, 0.00625, 0.38348154615307045, True),
+    6: (504918886.899125, 362440951.3191057, 0.0035714285714285713, 0.02380952380952379, False),
+    8: (504918901.49825, 381515889.34886247, 0.003125, 0.5, False),
 }
 REL = 1e-9
 
