@@ -144,6 +144,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="default per-sweep level parallelism for FRED jobs",
     )
     serve.add_argument(
+        "--max-body-mb", type=int, default=64,
+        help="largest accepted request body in MiB (oversize requests get 413)",
+    )
+    serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request to stderr"
     )
     return parser
@@ -306,6 +310,7 @@ def _command_serve(arguments: argparse.Namespace) -> int:
         port=arguments.port,
         service=service,
         verbose=arguments.verbose,
+        max_body_bytes=arguments.max_body_mb * 1024 * 1024,
     )
     print(f"serving on http://{arguments.host}:{server.port}", flush=True)
     try:

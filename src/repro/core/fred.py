@@ -53,6 +53,7 @@ and skip linkage entirely.
 
 from __future__ import annotations
 
+import pickle
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
@@ -273,6 +274,23 @@ class _DefaultAttackFactory:
         return WebFusionAttack(self.source, self.attack_config)
 
 
+# Per-process state for `executor="process"` sweeps: the shared sweep context
+# (anonymizer, private table, harvest), unpickled once per worker from the
+# initializer payload instead of once per submitted level.
+_SWEEP_CONTEXT: dict[str, tuple] = {}
+
+
+def _sweep_worker_init(payload: bytes) -> None:
+    """Pool initializer: install the sweep context in this worker process."""
+    _SWEEP_CONTEXT["current"] = pickle.loads(payload)
+
+
+def _sweep_worker_evaluate(level: int):
+    """Evaluate one level against the worker's installed sweep context."""
+    anonymizer, private, harvest = _SWEEP_CONTEXT["current"]
+    return anonymizer.evaluate_level(private, level, harvest=harvest)
+
+
 class FREDAnonymizer:
     """Algorithm 1: iterative fusion-resilient anonymization.
 
@@ -425,9 +443,29 @@ class FREDAnonymizer:
         workers = min(self.config.parallelism, len(levels))
         pool: Executor
         if self.config.executor == "process":
-            pool = ProcessPoolExecutor(max_workers=workers)
-        else:
-            pool = ThreadPoolExecutor(max_workers=workers)
+            # Serialize the shared per-sweep state (anonymizer, private table,
+            # harvest) exactly once and ship it through the pool initializer;
+            # per-level submissions then carry only the level number.  The
+            # naive `pool.submit(self.evaluate_level, private, k, harvest)`
+            # re-pickled the whole harvest for every level.
+            payload = pickle.dumps(
+                (self, private, harvest), protocol=pickle.HIGHEST_PROTOCOL
+            )
+            pool = ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_sweep_worker_init,
+                initargs=(payload,),
+            )
+            with pool:
+                futures = [pool.submit(_sweep_worker_evaluate, k) for k in levels]
+                results: list[LevelOutcome | BaseException] = []
+                for future in futures:
+                    try:
+                        results.append(future.result())
+                    except Exception as error:
+                        results.append(error)
+                return results
+        pool = ThreadPoolExecutor(max_workers=workers)
         with pool:
             futures = [
                 pool.submit(self.evaluate_level, private, k, harvest) for k in levels

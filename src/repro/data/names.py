@@ -42,14 +42,19 @@ def generate_names(count: int, seed: int = 0) -> list[str]:
     The first ``len(FIRST_NAMES) * len(LAST_NAMES)`` names are plain
     "First Last" combinations (identical to what earlier versions produced for
     the same seed); beyond that, middle initials ``A.`` through ``Z.`` extend
-    the space 27-fold so population-scale datasets (tens of thousands of
-    records, as the anonymization benchmarks use) still get unique
-    identifiers.  Raises :class:`~repro.exceptions.ReproError` when ``count``
-    exceeds the extended capacity.
+    the space 27-fold, and double middle initials (``"A. B."``) extend it a
+    further 676-fold, so population-scale datasets (hundreds of thousands of
+    records, as the anonymization and linkage benchmarks use) still get
+    unique identifiers.  Every prefix is stable: asking for more names never
+    changes the ones already generated for the same seed.  Raises
+    :class:`~repro.exceptions.ReproError` when ``count`` exceeds the extended
+    capacity.
     """
     capacity = len(FIRST_NAMES) * len(LAST_NAMES)
     middle_initials = tuple(chr(ord("A") + i) for i in range(26))
-    extended_capacity = capacity * (1 + len(middle_initials))
+    single_capacity = capacity * len(middle_initials)
+    double_capacity = capacity * len(middle_initials) ** 2
+    extended_capacity = capacity + single_capacity + double_capacity
     if count < 0:
         raise ReproError("count must be non-negative")
     if count > extended_capacity:
@@ -64,6 +69,15 @@ def generate_names(count: int, seed: int = 0) -> list[str]:
     ]
     for extra in range(max(0, count - capacity)):
         first, last = pairs[order[extra % capacity]]
-        middle = middle_initials[extra // capacity]
-        names.append(f"{first} {middle}. {last}")
+        if extra < single_capacity:
+            middle = middle_initials[extra // capacity] + "."
+        else:
+            block = (extra - single_capacity) // capacity
+            middle = (
+                middle_initials[block // len(middle_initials)]
+                + ". "
+                + middle_initials[block % len(middle_initials)]
+                + "."
+            )
+        names.append(f"{first} {middle} {last}")
     return names

@@ -26,6 +26,7 @@ __all__ = [
     "ServiceError",
     "UnknownDatasetError",
     "UnknownJobError",
+    "PayloadTooLargeError",
 ]
 
 
@@ -108,3 +109,7 @@ class UnknownDatasetError(ServiceError):
 
 class UnknownJobError(ServiceError):
     """A service request referenced a job id that does not exist."""
+
+
+class PayloadTooLargeError(ServiceError):
+    """A service request body exceeded the configured size limit (HTTP 413)."""

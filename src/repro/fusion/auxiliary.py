@@ -260,6 +260,23 @@ class TableAuxiliarySource(AuxiliarySource):
                 qgram_size=self.qgram_size,
             )
 
+    def __getstate__(self) -> dict:
+        # The name list, exact-lookup dict and column gathers all duplicate
+        # table data; ship only the table plus the (buffer-backed, cheap to
+        # pickle) linkage index and rebuild the rest on load.
+        state = dict(self.__dict__)
+        for derived in ("_names", "_by_name", "_columns"):
+            state.pop(derived, None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._names = [str(name) for name in self.table.column(self.name_column)]
+        self._by_name = {name: row for row, name in enumerate(self._names)}
+        self._columns = {
+            name: self.table.column_array(name) for name in self.attribute_names
+        }
+
     def _record_at(
         self, row: int, name: str, confidence: float = 1.0
     ) -> AuxiliaryRecord:

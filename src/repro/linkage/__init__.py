@@ -13,29 +13,46 @@ executable specification: the batched kernels reproduce them bit-for-bit, and
 :class:`LinkageIndex`.
 """
 
-from repro.linkage.blocking import BLOCKING_SCHEMES, BlockingIndex
+from repro.linkage.blocking import (
+    BLOCKING_SCHEMES,
+    BlockingIndex,
+    TokenStream,
+    tokenize_corpus,
+)
 from repro.linkage.index import LinkageIndex, MatchCandidate
 from repro.linkage.kernels import (
     encode_query,
     encode_strings,
+    encode_strings_flat,
     jaro_similarity_batch,
     jaro_winkler_similarity_batch,
     levenshtein_distance_batch,
     levenshtein_similarity_batch,
+    pad_ragged,
     token_jaccard_batch,
 )
-from repro.linkage.normalize import name_tokens, normalize_name, token_qgrams
+from repro.linkage.normalize import (
+    name_tokens,
+    normalize_name,
+    normalize_names,
+    token_qgrams,
+)
 
 __all__ = [
     "LinkageIndex",
     "MatchCandidate",
     "BlockingIndex",
     "BLOCKING_SCHEMES",
+    "TokenStream",
+    "tokenize_corpus",
     "normalize_name",
+    "normalize_names",
     "name_tokens",
     "token_qgrams",
     "encode_query",
     "encode_strings",
+    "encode_strings_flat",
+    "pad_ragged",
     "levenshtein_distance_batch",
     "levenshtein_similarity_batch",
     "jaro_similarity_batch",

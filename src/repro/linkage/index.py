@@ -19,6 +19,25 @@ number of approximate-match queries against it:
   bucket's (query, candidate) pairs run through one pairwise DP
   (:mod:`repro.linkage.kernels`, the ``*_pairs`` kernels), bit-identical to
   resolving every query on its own.
+
+Construction is vectorized end to end and the index *is* a bundle of flat
+NumPy buffers:
+
+* normalization runs once over the joined corpus
+  (:func:`~repro.linkage.normalize.normalize_names`), and the character
+  codes come from a single ``np.frombuffer`` over the joined normalized text
+  (:func:`~repro.linkage.kernels.encode_strings_flat`);
+* token ids, the per-row token matrix, per-token-id postings and the
+  blocking postings all derive from one flattened
+  :class:`~repro.linkage.blocking.TokenStream` via ``np.unique`` over
+  combined ``(key, row)`` integer keys — no per-name Python loops;
+* the perfect-match table and the pruning character-count matrix are built
+  lazily on first use, so constructing (or unpickling) an index does no
+  per-row Python work at all;
+* pickling (:meth:`__getstate__`) serializes only the flat buffers — padded
+  matrices and lazy caches are rebuilt on load — and :meth:`shard` splits an
+  index into row-range shards whose :meth:`match_many` results merge back
+  (:meth:`merge_matches`) bit-identically to the unsharded answer.
 """
 
 from __future__ import annotations
@@ -29,22 +48,30 @@ from typing import Sequence
 import numpy as np
 
 from repro.exceptions import LinkageError
-from repro.linkage.blocking import BlockingIndex
+from repro.linkage.blocking import (
+    BlockingIndex,
+    _compact_ints,
+    tokenize_corpus,
+)
 from repro.linkage.kernels import (
     PAD,
     QUERY_PAD,
     encode_query,
-    encode_strings,
+    encode_strings_flat,
     jaro_winkler_similarity_batch,
     jaro_winkler_similarity_pairs,
     levenshtein_similarity_batch,
     levenshtein_similarity_pairs,
+    pad_ragged,
     token_jaccard_batch,
     token_jaccard_pairs,
 )
-from repro.linkage.normalize import normalize_name
+from repro.linkage.normalize import normalize_name, normalize_names
 
 __all__ = ["MatchCandidate", "LinkageIndex"]
+
+#: Placeholder distinguishing "never computed" from a computed ``None``.
+_UNSET = object()
 
 
 @dataclass(frozen=True)
@@ -88,76 +115,223 @@ class LinkageIndex:
             raise LinkageError(f"threshold must lie in (0, 1], got {threshold}")
         if not 0.0 <= prefix_scale <= 0.25:
             raise LinkageError("prefix_scale must lie in [0, 0.25]")
+        names = [str(name) for name in corpus_names]
+        normalized = normalize_names(names)
+        flat_codes, lengths = encode_strings_flat(normalized)
+        n_rows = len(names)
+        # Token counts straight from the code buffer (space code 32): spaces
+        # per row plus one for every non-empty row.
+        row_of_char = np.repeat(
+            np.arange(n_rows, dtype=np.int64), lengths.astype(np.int64)
+        )
+        spaces = np.bincount(row_of_char[flat_codes == 32], minlength=n_rows)
+        stream = tokenize_corpus(normalized, token_counts=spaces + (lengths > 0))
+        vocab_size = len(stream.unique)
+        # Dedupe (row, token) pairs once; both orderings of the same pair set
+        # give the token matrix (grouped by row, ids ascending — exactly the
+        # historical per-name ``sorted(set(...))``) and the per-id postings
+        # (grouped by id, rows ascending).
+        stride = np.int64(max(vocab_size, 1))
+        pairs = np.sort(
+            _compact_ints(stream.rows * stride + stream.ids, n_rows * int(stride))
+        )
+        if pairs.size:
+            pairs = pairs[np.concatenate(([True], pairs[1:] != pairs[:-1]))]
+        pair_rows = (pairs // stride).astype(np.intp)
+        pair_ids = pairs % stride
+        token_counts = np.bincount(pair_rows, minlength=n_rows).astype(np.int64)
+        # pair_rows is ascending, so a stable sort by id keeps rows ascending
+        # within each id group — the postings invariant.
+        by_id = np.argsort(_compact_ints(pair_ids, vocab_size), kind="stable")
+        post_counts = np.bincount(pair_ids, minlength=vocab_size)
+        name_lengths = np.fromiter(
+            (len(name) for name in names), dtype=np.int64, count=n_rows
+        )
+        self._attach_buffers(
+            threshold=threshold,
+            prefix_scale=prefix_scale,
+            row_offset=0,
+            names_joined="".join(names),
+            name_offsets=np.concatenate(([0], np.cumsum(name_lengths))),
+            flat_codes=flat_codes,
+            lengths=lengths,
+            vocab=stream.unique,
+            token_ids=pair_ids,
+            token_counts=token_counts,
+            post_rows=pair_rows[by_id],
+            post_offsets=np.concatenate(([0], np.cumsum(post_counts))),
+            blocking=BlockingIndex(
+                normalized, scheme=blocking, qgram_size=qgram_size, tokens=stream
+            ),
+        )
+
+    def _attach_buffers(
+        self,
+        *,
+        threshold: float,
+        prefix_scale: float,
+        row_offset: int,
+        names_joined: str,
+        name_offsets: np.ndarray,
+        flat_codes: np.ndarray,
+        lengths: np.ndarray,
+        vocab: tuple[str, ...],
+        token_ids: np.ndarray,
+        token_counts: np.ndarray,
+        post_rows: np.ndarray,
+        post_offsets: np.ndarray,
+        blocking: BlockingIndex,
+    ) -> None:
+        """Adopt the flat buffers and rebuild the derived padded matrices.
+
+        The buffers are the index's canonical state (what pickling ships and
+        :meth:`shard` slices); everything else — padded code/token matrices,
+        the vocabulary dict, the perfect-match table, pruning counts, the
+        materialized name list — is derived, vectorized or lazy.
+        """
         self.threshold = threshold
         self.prefix_scale = prefix_scale
-        self._names = [str(name) for name in corpus_names]
-        self._normalized = [normalize_name(name) for name in self._names]
-        self._codes, self._lengths = encode_strings(self._normalized)
-
-        # Token-id matrix: each row holds the unique token ids of one name.
-        vocabulary: dict[str, int] = {}
-        id_sets = [
-            sorted({vocabulary.setdefault(t, len(vocabulary)) for t in normalized.split()})
-            for normalized in self._normalized
-        ]
-        self._token_counts = np.fromiter(
-            (len(ids) for ids in id_sets), dtype=np.int64, count=len(id_sets)
-        )
-        token_width = max(int(self._token_counts.max(initial=0)), 1)
-        self._token_matrix = np.full((len(id_sets), token_width), PAD, dtype=np.int64)
-        for row, ids in enumerate(id_sets):
-            self._token_matrix[row, : len(ids)] = ids
-        self._vocabulary = vocabulary
-        # Lowest corpus row per token *set*.  The composite score hits exactly
-        # 1.0 iff the token sets are equal (token-Jaccard is 1.0 only then,
-        # and the 0.6/0.4 blend reaches 1.0 only for identical strings, which
-        # have equal token sets a fortiori), so a query whose token set is in
-        # this dict resolves to its lowest-row perfect match without touching
-        # the kernels — exactly what argmax-first over all candidates returns.
-        self._perfect: dict[frozenset[str], int] = {}
-        for row, normalized in enumerate(self._normalized):
-            if normalized:
-                self._perfect.setdefault(frozenset(normalized.split()), row)
-        self._blocking = BlockingIndex(
-            self._normalized, scheme=blocking, qgram_size=qgram_size
-        )
-        # Character-count matrix for the match_many pruning bounds: one count
-        # per character code occurring anywhere in the corpus.  Normalized
-        # names draw from a tiny alphabet (ASCII letters plus space); corpora
-        # with an unexpectedly wide alphabet skip count-based pruning rather
-        # than build a huge matrix.
-        alphabet = np.unique(self._codes)
-        alphabet = alphabet[alphabet != PAD]
-        if 0 < alphabet.size <= 64:
-            self._alphabet: np.ndarray | None = alphabet
-            self._char_counts = np.stack(
-                [(self._codes == code).sum(axis=1) for code in alphabet], axis=1
-            ).astype(np.int32)
-        else:
-            self._alphabet = None
-            self._char_counts = None
+        #: Global row number of this index's row 0 (non-zero only for shards);
+        #: added to every reported ``candidate_index``.
+        self.row_offset = row_offset
+        self._names_joined = names_joined
+        self._name_offsets = name_offsets
+        self._flat_codes = flat_codes
+        self._lengths = lengths
+        self._codes = pad_ragged(flat_codes, lengths, PAD, np.int32)
+        self._vocab = vocab
+        self._vocabulary = {token: i for i, token in enumerate(vocab)}
+        self._token_ids = token_ids
+        self._token_counts = token_counts
+        self._token_matrix = pad_ragged(token_ids, token_counts, PAD, np.int64)
+        self._token_post_rows = post_rows
+        self._token_post_offsets = post_offsets
+        self._blocking = blocking
+        self._names_list: list[str] | None = None
+        self._perfect_cache: dict[bytes, int] | None = None
+        self._char_cache: tuple[np.ndarray, np.ndarray] | None | object = _UNSET
 
     # Introspection ------------------------------------------------------------------
 
     @property
     def size(self) -> int:
         """Number of corpus entries in the index."""
-        return len(self._names)
+        return int(self._lengths.shape[0])
 
     @property
     def names(self) -> tuple[str, ...]:
         """The corpus names, in index order."""
-        return tuple(self._names)
+        return tuple(self._materialized_names())
 
     @property
     def blocking(self) -> BlockingIndex:
         """The blocking index (scheme, keys, candidate sets)."""
         return self._blocking
 
+    def _materialized_names(self) -> list[str]:
+        if self._names_list is None:
+            joined, offsets = self._names_joined, self._name_offsets
+            self._names_list = [
+                joined[int(offsets[i]) : int(offsets[i + 1])]
+                for i in range(offsets.shape[0] - 1)
+            ]
+        return self._names_list
+
+    def _name_at(self, row: int) -> str:
+        if self._names_list is not None:
+            return self._names_list[row]
+        offsets = self._name_offsets
+        return self._names_joined[int(offsets[row]) : int(offsets[row + 1])]
+
+    # Lazy derived state -------------------------------------------------------------
+
+    def _perfect_rows(self) -> dict[bytes, int]:
+        """Lowest corpus row per token *set*, keyed by the row's padded id bytes.
+
+        The composite score hits exactly 1.0 iff the token sets are equal
+        (token-Jaccard is 1.0 only then, and the 0.6/0.4 blend reaches 1.0
+        only for identical strings, which have equal token sets a fortiori),
+        so a query whose token set is in this table resolves to its lowest-row
+        perfect match without touching the kernels — exactly what argmax-first
+        over all candidates returns.  Built on first use: rows are fed in
+        descending order so the lowest row wins each key.
+        """
+        if self._perfect_cache is None:
+            matrix = np.ascontiguousarray(self._token_matrix)
+            row_bytes = matrix.tobytes()
+            stride = matrix.shape[1] * matrix.itemsize
+            mapping: dict[bytes, int] = {}
+            for row in np.flatnonzero(self._token_counts > 0)[::-1].tolist():
+                mapping[row_bytes[row * stride : (row + 1) * stride]] = row
+            self._perfect_cache = mapping
+        return self._perfect_cache
+
+    def _perfect_row(self, normalized_query: str) -> int | None:
+        """The lowest corpus row whose token set equals the query's, if any."""
+        ids = []
+        for token in set(normalized_query.split()):
+            token_id = self._vocabulary.get(token)
+            if token_id is None:
+                return None
+            ids.append(token_id)
+        width = self._token_matrix.shape[1]
+        if len(ids) > width:
+            return None
+        ids.sort()
+        key = np.full(width, PAD, dtype=np.int64)
+        key[: len(ids)] = ids
+        return self._perfect_rows().get(key.tobytes())
+
+    def _char_bounds(self) -> tuple[np.ndarray, np.ndarray] | None:
+        """Character-count matrix for the match_many pruning bounds.
+
+        One count per character code occurring anywhere in the corpus.
+        Normalized names draw from a tiny alphabet (ASCII letters plus
+        space); corpora with an unexpectedly wide alphabet skip count-based
+        pruning rather than build a huge matrix.  Built on first use.
+        """
+        if self._char_cache is _UNSET:
+            flat = self._flat_codes
+            small_codes = flat.size > 0 and int(flat.max()) < 4096
+            if small_codes:
+                # Normalized text draws from [a-z ]: a histogram over the
+                # tiny code range beats sorting the whole buffer.
+                histogram = np.bincount(flat)
+                alphabet = np.flatnonzero(histogram).astype(flat.dtype)
+            else:
+                alphabet = np.unique(flat)
+            if 0 < alphabet.size <= 64:
+                n_rows = self._lengths.shape[0]
+                if small_codes:
+                    lookup = np.zeros(histogram.shape[0], dtype=np.int64)
+                    lookup[alphabet] = np.arange(alphabet.size, dtype=np.int64)
+                    positions = lookup[flat]
+                else:
+                    positions = np.searchsorted(alphabet, flat)
+                row_of_char = np.repeat(
+                    np.arange(n_rows, dtype=np.int64), self._lengths.astype(np.int64)
+                )
+                counts = (
+                    np.bincount(
+                        row_of_char * alphabet.size + positions,
+                        minlength=n_rows * alphabet.size,
+                    )
+                    .reshape(n_rows, alphabet.size)
+                    .astype(np.int32)
+                )
+                self._char_cache = (alphabet, counts)
+            else:
+                self._char_cache = None
+        return self._char_cache
+
     # Scoring ------------------------------------------------------------------------
 
     def candidate_rows(self, query: str) -> np.ndarray:
-        """Corpus rows the blocking scheme pairs with ``query`` (ascending)."""
+        """Corpus rows the blocking scheme pairs with ``query`` (ascending).
+
+        Rows are local to this index (a shard's rows start at 0; add
+        :attr:`row_offset` for the global row).
+        """
         return self._blocking.candidate_rows(normalize_name(query))
 
     def scores(self, query: str, rows: np.ndarray | None = None) -> np.ndarray:
@@ -168,7 +342,7 @@ class LinkageIndex:
         """
         normalized_query = normalize_name(query)
         if rows is None:
-            rows = np.arange(len(self._names), dtype=np.intp)
+            rows = np.arange(self.size, dtype=np.intp)
         if not normalized_query:
             return np.zeros(len(rows))
         return self._score_rows(normalized_query, rows)
@@ -216,8 +390,8 @@ class LinkageIndex:
         return [
             MatchCandidate(
                 query=query,
-                candidate=self._names[row],
-                candidate_index=int(row),
+                candidate=self._name_at(int(row)),
+                candidate_index=int(row) + self.row_offset,
                 score=float(score),
             )
             for row, score in zip(rows[order], scores[order])
@@ -233,7 +407,7 @@ class LinkageIndex:
         normalized_query = normalize_name(query)
         if not normalized_query:
             return None
-        perfect = self._perfect.get(frozenset(normalized_query.split()))
+        perfect = self._perfect_row(normalized_query)
         if perfect is not None:
             # A 1.0-scoring candidate exists; every blocking scheme pairs it
             # with the query (equal token sets share every token key), and no
@@ -241,8 +415,8 @@ class LinkageIndex:
             # of which this is the lowest).
             return MatchCandidate(
                 query=query,
-                candidate=self._names[perfect],
-                candidate_index=perfect,
+                candidate=self._name_at(perfect),
+                candidate_index=perfect + self.row_offset,
                 score=1.0,
             )
         rows = self._blocking.candidate_rows(normalized_query)
@@ -254,8 +428,8 @@ class LinkageIndex:
             return None
         return MatchCandidate(
             query=query,
-            candidate=self._names[rows[best]],
-            candidate_index=int(rows[best]),
+            candidate=self._name_at(int(rows[best])),
+            candidate_index=int(rows[best]) + self.row_offset,
             score=float(scores[best]),
         )
 
@@ -286,12 +460,12 @@ class LinkageIndex:
             if not normalized:
                 resolved[query] = None
                 continue
-            perfect = self._perfect.get(frozenset(normalized.split()))
+            perfect = self._perfect_row(normalized)
             if perfect is not None:
                 resolved[query] = MatchCandidate(
                     query=query,
-                    candidate=self._names[perfect],
-                    candidate_index=perfect,
+                    candidate=self._name_at(perfect),
+                    candidate_index=perfect + self.row_offset,
                     score=1.0,
                 )
                 continue
@@ -319,6 +493,40 @@ class LinkageIndex:
     #: never drop one whose true score reaches the threshold.
     _PRUNE_SLACK = 1e-9
 
+    def _shared_token_mask(
+        self,
+        entries: Sequence[tuple[str, str, np.ndarray]],
+        known_ids: Sequence[list[int]],
+        n_pairs: int,
+    ) -> np.ndarray:
+        """Which (query, candidate) pairs share at least one corpus token.
+
+        A merge-join of the query's token postings against the entry's sorted
+        candidate rows.  Pairs outside the mask have an **exact** token-set
+        Jaccard of 0 (no shared in-vocabulary token means an empty
+        intersection, and the union is at least the query's token count, which
+        is positive), so the Jaccard kernel only runs on pairs in the mask.
+        """
+        mask = np.zeros(n_pairs, dtype=bool)
+        offsets = self._token_post_offsets
+        posting_rows = self._token_post_rows
+        position = 0
+        for (_, _, rows), ids in zip(entries, known_ids):
+            count = rows.size
+            if ids:
+                hits = [
+                    posting_rows[offsets[i] : offsets[i + 1]] for i in ids
+                ]
+                shared = hits[0] if len(hits) == 1 else np.unique(np.concatenate(hits))
+                if shared.size:
+                    found = np.searchsorted(shared, rows)
+                    clipped = np.minimum(found, shared.size - 1)
+                    mask[position : position + count] = (found < shared.size) & (
+                        shared[clipped] == rows
+                    )
+            position += count
+        return mask
+
     def _resolve_pair_chunk(
         self,
         entries: Sequence[tuple[str, str, np.ndarray]],
@@ -330,8 +538,10 @@ class LinkageIndex:
         threshold, so pairs that provably cannot get there are pruned before
         the expensive DP kernels using cheap per-pair bounds:
 
-        * the token-set Jaccard branch is computed **exactly** (one small
-          padded-id comparison per pair);
+        * the token-set Jaccard branch is computed **exactly**: a postings
+          merge-join (:meth:`_shared_token_mask`) finds the pairs sharing at
+          least one token, every other pair's Jaccard is exactly 0, and the
+          small padded-id kernel runs only on the sharing pairs;
         * with ``c`` the character-multiset overlap of the pair (one
           ``min(counts).sum()`` over the corpus alphabet), the Levenshtein
           distance is at least ``max(m, len) - c``, so
@@ -353,10 +563,12 @@ class LinkageIndex:
         token_width = max(len(tokens) for tokens in token_sets)
         query_tokens = np.full((len(entries), token_width), QUERY_PAD, dtype=np.int64)
         query_token_counts = np.empty(len(entries), dtype=np.int64)
+        known_ids: list[list[int]] = []
         for row, tokens in enumerate(token_sets):
             query_token_counts[row] = len(tokens)
             known = [self._vocabulary[t] for t in tokens if t in self._vocabulary]
             query_tokens[row, : len(known)] = known
+            known_ids.append(known)
 
         counts = np.fromiter(
             (rows.size for _, _, rows in entries), dtype=np.intp, count=len(entries)
@@ -364,21 +576,30 @@ class LinkageIndex:
         pair_rows = np.concatenate([rows for _, _, rows in entries])
         pair_query = np.repeat(np.arange(len(entries)), counts)
 
-        token_set = token_jaccard_pairs(
-            query_tokens[pair_query],
-            query_token_counts[pair_query],
-            self._token_matrix[pair_rows],
-            self._token_counts[pair_rows],
+        # Token-postings merge-join prefilter: the Jaccard kernel only sees
+        # pairs sharing a token; everything else is exactly 0.
+        token_set = np.zeros(pair_rows.shape[0])
+        sharing = np.flatnonzero(
+            self._shared_token_mask(entries, known_ids, pair_rows.shape[0])
         )
+        if sharing.size:
+            token_set[sharing] = token_jaccard_pairs(
+                query_tokens[pair_query[sharing]],
+                query_token_counts[pair_query[sharing]],
+                self._token_matrix[pair_rows[sharing]],
+                self._token_counts[pair_rows[sharing]],
+            )
         lengths = self._lengths[pair_rows].astype(np.int64)
         longest = np.maximum(length, lengths)
-        if self._char_counts is not None:
+        char_bounds = self._char_bounds()
+        if char_bounds is not None:
+            alphabet, char_counts = char_bounds
             query_char_counts = np.stack(
-                [(query_codes == code).sum(axis=1) for code in self._alphabet],
+                [(query_codes == code).sum(axis=1) for code in alphabet],
                 axis=1,
             ).astype(np.int32)
             common = np.minimum(
-                self._char_counts[pair_rows], query_char_counts[pair_query]
+                char_counts[pair_rows], query_char_counts[pair_query]
             ).sum(axis=1)
         else:
             common = np.minimum(length, lengths)
@@ -424,10 +645,145 @@ class LinkageIndex:
             if segment[best] >= self.threshold:
                 resolved[query] = MatchCandidate(
                     query=query,
-                    candidate=self._names[int(rows[best])],
-                    candidate_index=int(rows[best]),
+                    candidate=self._name_at(int(rows[best])),
+                    candidate_index=int(rows[best]) + self.row_offset,
                     score=float(segment[best]),
                 )
             else:
                 resolved[query] = None
             offset += int(count)
+
+    # Serialization / sharding ---------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Only the flat buffers go on the wire.
+
+        Padded matrices, the vocabulary dict and the lazy caches are rebuilt
+        by :meth:`__setstate__`, so pickling an index (process-pool sweeps,
+        cache spill) costs one contiguous copy per buffer instead of a deep
+        object graph.
+        """
+        return {
+            "version": 1,
+            "threshold": self.threshold,
+            "prefix_scale": self.prefix_scale,
+            "row_offset": self.row_offset,
+            "names_joined": self._names_joined,
+            "name_offsets": self._name_offsets,
+            "flat_codes": np.ascontiguousarray(self._flat_codes),
+            "lengths": self._lengths,
+            "vocab": " ".join(self._vocab),  # tokens are space-free and non-empty
+            "token_ids": self._token_ids,
+            "token_counts": self._token_counts,
+            "post_rows": self._token_post_rows,
+            "post_counts": np.diff(self._token_post_offsets),
+            "blocking": self._blocking,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        vocab = tuple(state["vocab"].split(" ")) if state["vocab"] else ()
+        self._attach_buffers(
+            threshold=state["threshold"],
+            prefix_scale=state["prefix_scale"],
+            row_offset=state["row_offset"],
+            names_joined=state["names_joined"],
+            name_offsets=state["name_offsets"],
+            flat_codes=state["flat_codes"],
+            lengths=state["lengths"],
+            vocab=vocab,
+            token_ids=state["token_ids"],
+            token_counts=state["token_counts"],
+            post_rows=state["post_rows"],
+            post_offsets=np.concatenate(
+                ([0], np.cumsum(state["post_counts"], dtype=np.int64))
+            ),
+            blocking=state["blocking"],
+        )
+
+    def shard(self, n_shards: int) -> list["LinkageIndex"]:
+        """Split the index into ``n_shards`` contiguous row-range shards.
+
+        Each shard is a self-contained :class:`LinkageIndex` over its row
+        slice (sharing the global vocabulary, so token ids stay comparable)
+        whose reported ``candidate_index`` values are global corpus rows via
+        :attr:`row_offset`.  Running :meth:`match_many` per shard and folding
+        with :meth:`merge_matches` reproduces the unsharded result exactly:
+        scores are per-pair, blocking is row-local, and the score-then-index
+        merge order equals the full argmax's lowest-row tie-breaking.
+        """
+        if n_shards < 1:
+            raise LinkageError(f"n_shards must be >= 1, got {n_shards}")
+        base, extra = divmod(self.size, n_shards)
+        shards, start = [], 0
+        for i in range(n_shards):
+            stop = start + base + (1 if i < extra else 0)
+            shards.append(self._slice(start, stop))
+            start = stop
+        return shards
+
+    def _slice(self, start: int, stop: int) -> "LinkageIndex":
+        """A self-contained index over corpus rows ``[start, stop)``."""
+        name_offsets = self._name_offsets
+        code_offsets = np.concatenate(
+            ([0], np.cumsum(self._lengths, dtype=np.int64))
+        )
+        token_offsets = np.concatenate(
+            ([0], np.cumsum(self._token_counts, dtype=np.int64))
+        )
+        vocab_size = len(self._vocab)
+        posting_rows = self._token_post_rows
+        keep = (posting_rows >= start) & (posting_rows < stop)
+        ids_per_posting = np.repeat(
+            np.arange(vocab_size, dtype=np.int64),
+            np.diff(self._token_post_offsets),
+        )
+        post_counts = np.bincount(ids_per_posting[keep], minlength=vocab_size)
+        clone = object.__new__(LinkageIndex)
+        clone._attach_buffers(
+            threshold=self.threshold,
+            prefix_scale=self.prefix_scale,
+            row_offset=self.row_offset + start,
+            names_joined=self._names_joined[
+                int(name_offsets[start]) : int(name_offsets[stop])
+            ],
+            name_offsets=name_offsets[start : stop + 1] - name_offsets[start],
+            flat_codes=self._flat_codes[code_offsets[start] : code_offsets[stop]],
+            lengths=self._lengths[start:stop],
+            vocab=self._vocab,
+            token_ids=self._token_ids[token_offsets[start] : token_offsets[stop]],
+            token_counts=self._token_counts[start:stop],
+            post_rows=(posting_rows[keep] - start).astype(np.intp),
+            post_offsets=np.concatenate(([0], np.cumsum(post_counts))),
+            blocking=self._blocking.restrict(start, stop),
+        )
+        return clone
+
+    @staticmethod
+    def merge_matches(
+        shard_matches: Sequence[Sequence[MatchCandidate | None]],
+    ) -> list[MatchCandidate | None]:
+        """Fold per-shard :meth:`match_many` results into the global answer.
+
+        Per query: highest score wins, ties go to the lowest (global)
+        ``candidate_index`` — exactly the unsharded index's argmax-lowest-row
+        rule, since shards hold disjoint contiguous row ranges.
+        """
+        if not shard_matches:
+            return []
+        merged: list[MatchCandidate | None] = []
+        for results in zip(*shard_matches, strict=True):
+            best: MatchCandidate | None = None
+            for candidate in results:
+                if candidate is None:
+                    continue
+                if (
+                    best is None
+                    or candidate.score > best.score
+                    or (
+                        candidate.score == best.score
+                        and candidate.candidate_index < best.candidate_index
+                    )
+                ):
+                    best = candidate
+            merged.append(best)
+        return merged

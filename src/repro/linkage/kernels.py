@@ -48,6 +48,8 @@ __all__ = [
     "QUERY_PAD",
     "encode_query",
     "encode_strings",
+    "encode_strings_flat",
+    "pad_ragged",
     "levenshtein_distance_batch",
     "levenshtein_similarity_batch",
     "jaro_similarity_batch",
@@ -84,6 +86,55 @@ def encode_strings(strings: Sequence[str]) -> tuple[np.ndarray, np.ndarray]:
         if text:
             codes[row, : len(text)] = encode_query(text)
     return codes, lengths
+
+
+def encode_strings_flat(strings: Sequence[str]) -> tuple[np.ndarray, np.ndarray]:
+    """Encode strings into one flat ``int32`` code buffer plus a length vector.
+
+    The flat buffer is the concatenation of every string's code points, built
+    in a single ``np.frombuffer`` over the UTF-32 encoding of the joined text
+    — no per-string loop.  Lengths come from the same buffer: the strings are
+    joined on NUL (falling back to a per-string ``len`` pass in the unlikely
+    case a string itself contains NUL) and the separator positions diffed.
+    Together with ``lengths`` (and its cumulative sum) the flat buffer is the
+    canonical serialized form of a corpus; :func:`pad_ragged` rebuilds the
+    padded ``(n, width)`` matrix :func:`encode_strings` returns.
+    """
+    n_strings = len(strings)
+    if n_strings == 0:
+        return np.empty(0, dtype=np.int32), np.empty(0, dtype=np.int32)
+    with_seps = np.frombuffer(
+        "\x00".join(strings).encode("utf-32-le"), dtype="<i4"
+    ).astype(np.int32, copy=False)
+    separators = np.flatnonzero(with_seps == 0)
+    if separators.size != n_strings - 1:  # a string contains NUL itself
+        lengths = np.fromiter(
+            (len(s) for s in strings), dtype=np.int32, count=n_strings
+        )
+        flat = np.frombuffer(
+            "".join(strings).encode("utf-32-le"), dtype="<i4"
+        ).astype(np.int32, copy=False)
+        return flat, lengths
+    bounds = np.concatenate(([-1], separators, [with_seps.shape[0]]))
+    lengths = (np.diff(bounds) - 1).astype(np.int32)
+    flat = with_seps[with_seps != 0] if separators.size else with_seps
+    return flat, lengths
+
+
+def pad_ragged(flat: np.ndarray, counts: np.ndarray, pad, dtype) -> np.ndarray:
+    """Scatter a flat row-major ragged buffer into a padded ``(n, width)`` matrix.
+
+    ``flat`` concatenates the rows' values; ``counts[r]`` is row ``r``'s length.
+    Cells past a row's end hold ``pad``.  Width is at least 1 so downstream
+    kernels never see a zero-column matrix.
+    """
+    n_rows = counts.shape[0]
+    width = max(int(counts.max(initial=0)), 1)
+    matrix = np.full((n_rows, width), pad, dtype=dtype)
+    if flat.size:
+        mask = np.arange(width) < np.asarray(counts, dtype=np.int64)[:, None]
+        matrix[mask] = flat
+    return matrix
 
 
 def _broadcast_query(query: np.ndarray, n_rows: int) -> np.ndarray:

@@ -96,8 +96,8 @@ class TwoTierCache:
                 self._memory.move_to_end(key)
                 self._memory_hits += 1
                 return self._memory[key]
-        value = self._load_spilled(key)
-        if value is not None:
+        found, value = self._load_spilled(key)
+        if found:
             with self._lock:
                 self._disk_hits += 1
                 self._store_memory(key, value)
@@ -133,8 +133,8 @@ class TwoTierCache:
                     return flight.value  # type: ignore[return-value]
                 continue  # leader aborted without a value; retry
             try:
-                value: object = self._load_spilled(key)
-                if value is not None:
+                found, value = self._load_spilled(key)
+                if found:
                     with self._lock:
                         self._disk_hits += 1
                 else:
@@ -208,18 +208,24 @@ class TwoTierCache:
         except (OSError, pickle.PicklingError):
             temp.unlink(missing_ok=True)  # spill is best-effort; memory tier holds the value
 
-    def _load_spilled(self, key: CacheKey) -> object | None:
+    def _load_spilled(self, key: CacheKey) -> tuple[bool, object | None]:
+        """Load the spilled entry for ``key`` as a ``(found, value)`` pair.
+
+        The explicit hit flag keeps a legitimately cached ``None`` value
+        distinguishable from a miss — returning the bare value would make
+        every lookup of such an entry recompute (and re-spill) it forever.
+        """
         if self._spill_dir is None:
-            return None
+            return False, None
         path = self._spill_path(key)
         try:
             with path.open("rb") as handle:
                 stored_key, value = pickle.load(handle)
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ValueError):
-            return None
+            return False, None
         if stored_key != key:  # sha collision or foreign file: ignore
-            return None
-        return value
+            return False, None
+        return True, value
 
 
 class _Sentinel:

@@ -47,6 +47,7 @@ from typing import Iterator
 from urllib.parse import parse_qs, urlparse
 
 from repro.exceptions import (
+    PayloadTooLargeError,
     ReproError,
     ServiceError,
     UnknownDatasetError,
@@ -54,10 +55,13 @@ from repro.exceptions import (
 )
 from repro.service.core import AnonymizationService
 
-__all__ = ["ServiceServer", "build_server"]
+__all__ = ["ServiceServer", "build_server", "DEFAULT_MAX_BODY_BYTES"]
 
 #: Upload bodies are read from the socket in chunks of this many bytes.
 UPLOAD_CHUNK_BYTES = 64 * 1024
+
+#: Default request-body size limit; requests beyond it get a 413 reply.
+DEFAULT_MAX_BODY_BYTES = 64 * 1024 * 1024
 
 
 def _iter_body_lines(rfile, content_length: int, chunk_bytes: int = UPLOAD_CHUNK_BYTES) -> Iterator[str]:
@@ -108,15 +112,21 @@ class _Handler(BaseHTTPRequestHandler):
             super().log_message(format, *args)
 
     def _send(self, status: int, payload: bytes, content_type: str) -> None:
-        self.send_response(status)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(payload)))
-        if self.close_connection:
-            # Error paths may leave unread body bytes on the socket; telling
-            # the client the connection is done prevents keep-alive desync.
-            self.send_header("Connection", "close")
-        self.end_headers()
-        self.wfile.write(payload)
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(payload)))
+            if self.close_connection:
+                # Error paths may leave unread body bytes on the socket; telling
+                # the client the connection is done prevents keep-alive desync.
+                self.send_header("Connection", "close")
+            self.end_headers()
+            self.wfile.write(payload)
+        except (BrokenPipeError, ConnectionResetError, ConnectionError):
+            # The client hung up mid-reply.  The response cannot be delivered
+            # and the socket is dead, so just mark the connection closed; a
+            # traceback here would spam the log for a routine disconnect.
+            self.close_connection = True
 
     def _send_json(self, status: int, document: object) -> None:
         self._send(
@@ -128,8 +138,29 @@ class _Handler(BaseHTTPRequestHandler):
     def _send_error_json(self, status: int, message: str) -> None:
         self._send_json(status, {"error": message})
 
+    def _content_length(self) -> int:
+        """The request's Content-Length as a validated, bounded integer.
+
+        Malformed or negative values are client errors (400), not server
+        crashes; values beyond the configured body limit are refused up
+        front with 413 instead of streaming an unbounded body into memory.
+        """
+        raw = (self.headers.get("Content-Length") or "0").strip()
+        try:
+            length = int(raw)
+        except ValueError:
+            raise ServiceError(f"invalid Content-Length header: {raw!r}") from None
+        if length < 0:
+            raise ServiceError(f"invalid Content-Length header: {raw!r}")
+        limit = self.server.max_body_bytes
+        if length > limit:
+            raise PayloadTooLargeError(
+                f"request body of {length} bytes exceeds the limit of {limit} bytes"
+            )
+        return length
+
     def _read_json_body(self) -> dict:
-        length = int(self.headers.get("Content-Length") or 0)
+        length = self._content_length()
         raw = self.rfile.read(length) if length else b""
         if not raw:
             raise ServiceError("request body must be a JSON object")
@@ -146,6 +177,8 @@ class _Handler(BaseHTTPRequestHandler):
             handler()
         except (UnknownDatasetError, UnknownJobError) as error:
             self._send_error_safely(404, str(error))
+        except PayloadTooLargeError as error:
+            self._send_error_safely(413, str(error))
         except ReproError as error:
             self._send_error_safely(400, str(error))
         except (BrokenPipeError, ConnectionError):  # pragma: no cover - client went away
@@ -227,7 +260,7 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             fmt = "csv"
         label = query.get("label", [""])[0]
-        length = int(self.headers.get("Content-Length") or 0)
+        length = self._content_length()
         if length <= 0:
             raise ServiceError("dataset upload requires a non-empty body")
         lines = _iter_body_lines(self.rfile, length)
@@ -343,10 +376,16 @@ class ServiceServer(ThreadingHTTPServer):
         address: tuple[str, int],
         service: AnonymizationService,
         verbose: bool = False,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
     ) -> None:
+        if max_body_bytes < 1:
+            raise ServiceError(
+                f"max_body_bytes must be >= 1, got {max_body_bytes}"
+            )
         super().__init__(address, _Handler)
         self.service = service
         self.verbose = verbose
+        self.max_body_bytes = max_body_bytes
         self._thread: threading.Thread | None = None
 
     @property
@@ -378,6 +417,12 @@ def build_server(
     port: int = 8080,
     service: AnonymizationService | None = None,
     verbose: bool = False,
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
 ) -> ServiceServer:
     """Construct a :class:`ServiceServer` (and a default service if needed)."""
-    return ServiceServer((host, port), service or AnonymizationService(), verbose=verbose)
+    return ServiceServer(
+        (host, port),
+        service or AnonymizationService(),
+        verbose=verbose,
+        max_body_bytes=max_body_bytes,
+    )

@@ -33,10 +33,18 @@ class TestNames:
 
     def test_capacity_and_validation(self):
         with pytest.raises(ReproError):
-            generate_names(100_000)  # beyond the middle-initial-extended space
+            generate_names(2_000_000)  # beyond the double-initial-extended space
         with pytest.raises(ReproError):
             generate_names(-1)
         assert generate_names(0) == []
+
+    def test_double_initial_extension_stays_unique_and_prefix_stable(self):
+        # Beyond the single-middle-initial space (67,500 for the default name
+        # pools) double initials take over; earlier names never change.
+        names = generate_names(70_000, seed=0)
+        assert len(set(names)) == 70_000
+        assert names[:67_500] == generate_names(67_500, seed=0)
+        assert all(len(name.split()) == 4 for name in names[67_500:])
 
     def test_extended_capacity_stays_unique_and_compatible(self):
         # Counts beyond the plain First-Last space extend with middle

@@ -83,6 +83,27 @@ class TestDiskTier:
         assert second.get(("k",)) == "v"
         assert second.get(("missing",)) is None
 
+    def test_spilled_none_is_a_hit_not_a_miss(self, tmp_path):
+        """A legitimately cached ``None`` must not be recomputed forever.
+
+        Regression test: ``_load_spilled`` used to signal a miss by returning
+        ``None``, so a spilled ``None`` value was indistinguishable from "not
+        on disk" and every lookup after eviction (or restart) recomputed it.
+        """
+        first = TwoTierCache(capacity=4, spill_dir=tmp_path)
+        first.get_or_compute(("nothing",), lambda: None)
+        second = TwoTierCache(capacity=4, spill_dir=tmp_path)
+        calls = []
+        value = second.get_or_compute(("nothing",), lambda: calls.append(1))
+        assert value is None
+        assert calls == [], "spilled None must be served from disk, not recomputed"
+        stats = second.stats()
+        assert stats["disk_hits"] == 1
+        assert stats["computations"] == 0
+        # the hit was promoted to memory: the next lookup never touches disk
+        assert second.get_or_compute(("nothing",), lambda: calls.append(1)) is None
+        assert second.stats()["memory_hits"] == 1
+
     def test_corrupt_spill_entry_is_ignored(self, tmp_path):
         cache = TwoTierCache(capacity=4, spill_dir=tmp_path)
         cache.get_or_compute(("k",), lambda: "v")

@@ -163,6 +163,87 @@ class TestDatasetEndpoints:
         assert listing["datasets"] == [], "truncated upload must not be registered"
 
 
+class TestRequestBodyLimits:
+    def _raw_post(self, port: int, path: str, content_length: str, body: bytes = b""):
+        """POST with an arbitrary Content-Length header -> (status, reply dict)."""
+        import http.client
+
+        connection = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+        try:
+            connection.putrequest("POST", path)
+            connection.putheader("Content-Type", "text/csv")
+            connection.putheader("Content-Length", content_length)
+            connection.endheaders()
+            if body:
+                connection.send(body)
+            response = connection.getresponse()
+            return response.status, json.loads(response.read())
+        finally:
+            connection.close()
+
+    @pytest.mark.parametrize("bad_length", ["banana", "-5", "1e3", "0x10"])
+    def test_malformed_content_length_is_a_400(self, service_client, bad_length):
+        """A bad Content-Length is a client error, not an uncaught ValueError."""
+        port = service_client.server.port
+        for path in ("/datasets", "/release"):
+            status, reply = self._raw_post(port, path, bad_length)
+            assert status == 400
+            assert "Content-Length" in reply["error"]
+        # the server is still healthy afterwards
+        status, document = service_client.get("/healthz")
+        assert (status, document) == (200, {"status": "ok"})
+
+    def test_oversize_body_gets_413(self, service):
+        """Bodies beyond the configured limit are refused before being read."""
+        from repro.service import build_server
+
+        server = build_server(port=0, service=service, max_body_bytes=64).serve_in_background()
+        try:
+            payload = b"name\nidentifier:text\n" + b"x\n" * 100
+            status, reply = self._raw_post(
+                server.port, "/datasets", str(len(payload)), payload
+            )
+            assert status == 413
+            assert "exceeds" in reply["error"]
+            # JSON endpoints enforce the same limit
+            body = json.dumps({"dataset": "x" * 200, "k": 3}).encode()
+            status, reply = self._raw_post(server.port, "/release", str(len(body)), body)
+            assert status == 413
+            # a within-limit request still works on the same server
+            status, _ = self._raw_post(server.port, "/datasets", "0")
+            assert status == 400  # empty body -> normal validation error
+        finally:
+            server.close(wait_jobs=False)
+
+    def test_invalid_body_limit_rejected(self, service):
+        from repro.exceptions import ServiceError
+        from repro.service import build_server
+
+        with pytest.raises(ServiceError):
+            build_server(port=0, service=service, max_body_bytes=0)
+
+    @pytest.mark.parametrize("disconnect", [BrokenPipeError, ConnectionResetError])
+    def test_reply_to_disconnected_client_is_dropped(self, disconnect):
+        """A client that hangs up mid-reply must not raise out of ``_send``."""
+        from types import SimpleNamespace
+
+        from repro.service.http import _Handler
+
+        class _DeadSocketFile:
+            def write(self, data):
+                raise disconnect("client went away")
+
+        handler = _Handler.__new__(_Handler)
+        handler.server = SimpleNamespace(verbose=False)
+        handler.request_version = "HTTP/1.1"
+        handler.requestline = "GET /healthz HTTP/1.1"
+        handler.command = "GET"
+        handler.close_connection = False
+        handler.wfile = _DeadSocketFile()
+        handler._send(200, b"{}", "application/json")  # must not raise
+        assert handler.close_connection is True
+
+
 class TestReleaseEndpoint:
     def test_csv_reply_and_cache_hit(self, service_client, faculty_fingerprints):
         private, _ = faculty_fingerprints
