@@ -23,9 +23,12 @@ on.
 The grouping loop is fully vectorized: the not-yet-grouped records live in a
 compacted point matrix alongside their global row indices, every group is
 selected with one distance buffer and an ``np.partition``-based k-smallest
-pick (``O(remaining)`` instead of a full sort), and grouped rows are retired
-with a single boolean-mask compaction — no ``list.index`` / ``list.remove``
-bookkeeping, no per-call fancy-indexed subsets.  Tie-breaking matches the
+pick (``O(remaining)`` instead of a full sort), grouped rows are retired
+with a single boolean-mask compaction, and each round's second anchor (the
+record farthest from the first) is read off the first anchor's masked
+distance buffer instead of a fresh pass over the active set — no
+``list.index`` / ``list.remove`` bookkeeping, no per-call fancy-indexed
+subsets.  Tie-breaking matches the
 historical stable-argsort selection (equal distances resolve to the lowest
 remaining row index), so partitions are identical to the original
 implementation's.
@@ -85,37 +88,95 @@ def _k_smallest(distances: np.ndarray, k: int) -> np.ndarray:
 
 
 def _mdav_groups(points: np.ndarray, k: int) -> list[list[int]]:
-    """Run the MDAV grouping loop over row vectors ``points``."""
-    active_rows = np.arange(points.shape[0], dtype=np.intp)
-    active_points = points
+    """Run the MDAV grouping loop over row vectors ``points``.
+
+    The loop allocates nothing per round: compaction ping-pongs between two
+    preallocated buffers (``np.compress`` with ``out=``), and the delta,
+    distance and partition work reuses fixed scratch arrays.  ``points``
+    itself serves as the first round's active view and is never written to.
+    Every arithmetic operation is elementwise-identical to the allocating
+    formulation, so partitions are unchanged bit for bit.
+    """
+    count = points.shape[0]
     groups: list[list[int]] = []
 
-    def take_group(anchor_position: int) -> None:
-        """Retire the anchor and its ``k-1`` nearest active records as a group."""
-        nonlocal active_rows, active_points
-        distances = _sq_distances(active_points, active_points[anchor_position])
-        distances[anchor_position] = -1.0  # the anchor itself is selected first
-        chosen = _k_smallest(distances, k)
-        groups.append(active_rows[chosen].tolist())
-        keep = np.ones(active_rows.size, dtype=bool)
-        keep[chosen] = False
-        active_rows = active_rows[keep]
-        active_points = active_points[keep]
+    point_buffers = (np.empty_like(points), np.empty_like(points))
+    row_buffers = (
+        np.arange(count, dtype=np.intp),
+        np.empty(count, dtype=np.intp),
+    )
+    delta_scratch = np.empty_like(points)
+    distance_scratch = np.empty(count, dtype=np.float64)
+    survivor_scratch = np.empty(count, dtype=np.float64)
+    partition_scratch = np.empty(count, dtype=np.float64)
+    keep_scratch = np.empty(count, dtype=bool)
 
-    def farthest_from(reference: np.ndarray) -> int:
-        """Position (within the active set) of the record farthest from ``reference``."""
-        return int(np.argmax(_sq_distances(active_points, reference)))
+    active_points = points
+    active_rows = row_buffers[0]
+    points_dest = 0
+    rows_dest = 1
+
+    def sq_distances(reference: np.ndarray) -> np.ndarray:
+        """Squared distances from every active record to ``reference``."""
+        deltas = delta_scratch[: active_points.shape[0]]
+        np.subtract(active_points, reference, out=deltas)
+        return np.einsum(
+            "ij,ij->i", deltas, deltas, out=distance_scratch[: deltas.shape[0]]
+        )
+
+    def k_smallest(distances: np.ndarray) -> np.ndarray:
+        """Positions of the ``k`` smallest distances, earliest positions on ties.
+
+        Equivalent to ``np.argsort(distances, kind="stable")[:k]`` as a *set*
+        (and therefore to the historical selection), in ``O(n)`` via an
+        in-place scratch partition.
+        """
+        if k >= distances.size:
+            return np.arange(distances.size, dtype=np.intp)
+        ranked = partition_scratch[: distances.size]
+        ranked[:] = distances
+        ranked.partition(k - 1)
+        threshold = ranked[k - 1]
+        below = np.nonzero(distances < threshold)[0]
+        at_threshold = np.nonzero(distances == threshold)[0]
+        return np.concatenate([below, at_threshold[: k - below.size]])
+
+    def take_group(anchor_position: int) -> np.ndarray:
+        """Retire the anchor and its ``k-1`` nearest active records as a group.
+
+        Returns the anchor's distance buffer masked down to the surviving
+        records — entry ``i`` is exactly the squared distance from the anchor
+        to the new ``active_points[i]``, so the caller can pick the next
+        anchor from it without another pass over the active set.
+        """
+        nonlocal active_rows, active_points, points_dest, rows_dest
+        distances = sq_distances(active_points[anchor_position])
+        distances[anchor_position] = -1.0  # the anchor itself is selected first
+        chosen = k_smallest(distances)
+        groups.append(active_rows[chosen].tolist())
+        size = active_rows.size
+        keep = keep_scratch[:size]
+        keep[:] = True
+        keep[chosen] = False
+        survivors = size - chosen.size
+        np.compress(keep, active_points, axis=0, out=point_buffers[points_dest][:survivors])
+        np.compress(keep, active_rows, out=row_buffers[rows_dest][:survivors])
+        surviving = np.compress(keep, distances, out=survivor_scratch[:survivors])
+        active_points = point_buffers[points_dest][:survivors]
+        active_rows = row_buffers[rows_dest][:survivors]
+        points_dest ^= 1
+        rows_dest ^= 1
+        return surviving
 
     while active_rows.size >= 3 * k:
         centroid = active_points.mean(axis=0)
-        r_position = farthest_from(centroid)
-        r_point = active_points[r_position].copy()
-        take_group(r_position)
-        take_group(farthest_from(r_point))
+        r_position = int(np.argmax(sq_distances(centroid)))
+        surviving_r_distances = take_group(r_position)
+        take_group(int(np.argmax(surviving_r_distances)))
 
     if active_rows.size >= 2 * k:
         centroid = active_points.mean(axis=0)
-        take_group(farthest_from(centroid))
+        take_group(int(np.argmax(sq_distances(centroid))))
 
     if active_rows.size:
         groups.append(active_rows.tolist())

@@ -31,17 +31,22 @@ Chunked NumPy fast path
 Numeric-heavy CSVs dominate ingest, and for them the per-cell machinery —
 ``csv.reader`` tokenization plus up to three regex probes and a ``float()``
 call per cell — is pure overhead.  :func:`stream_csv` therefore parses
-quote-free lines on a *fast path*: each ``chunk_rows`` block of lines is
-split and transposed column-wise, a numeric column whose joined chunk
-fullmatches one plain-numbers regex is converted with a single vectorized
-``ndarray.astype(float64)`` (then narrowed to ``int64`` exactly when the
-line-by-line parser would have produced integers), and only columns with
-special cells (empty, ``*``, intervals, category sets, padding) fall back to
-per-cell :func:`parse_cell` for that chunk.  The first quote character seen
-hands everything not yet parsed to the historical ``csv.reader`` path, so
-quoted delimiters and quoted embedded newlines behave exactly as before.
-The two paths are property-tested equivalent (``fast=False`` forces the
-line-by-line parser).
+quote-free lines on a *fast path* that never touches lines individually:
+each ``chunk_rows`` block is one joined string, the whole cell grid comes
+from a single ``replace`` + ``split(",")`` pass over it, and every column is
+a strided slice of the flat cell list.  A numeric column chunk that passes a
+charclass + dot-position scan (or fullmatches the full number grammar) is
+converted with one vectorized ``float64`` parse (then narrowed to ``int64``
+exactly when the line-by-line parser would have produced integers); a text
+column chunk that fullmatches the plain-text grammar is kept verbatim; and
+only chunks with special cells (empty, ``*``, intervals, category sets,
+padding) fall back to per-cell :func:`parse_cell`.  The first quote
+character seen hands everything not yet parsed to the historical
+``csv.reader`` path, so quoted delimiters and quoted embedded newlines
+behave exactly as before, and blocks the flat view cannot represent (bare
+``\r`` endings, unterminated lines, blank interior lines, ragged rows) take
+the historical per-line split.  The two paths are property-tested
+equivalent (``fast=False`` forces the line-by-line parser).
 """
 
 from __future__ import annotations
@@ -51,7 +56,7 @@ import io as _io
 import json
 import math
 import re
-from itertools import chain
+from itertools import chain, islice, repeat
 from pathlib import Path
 from typing import Iterable, Iterator, Mapping
 
@@ -86,6 +91,22 @@ _NUMBER_RE = re.compile(r"^-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?$")
 #: :func:`parse_cell`, which NumPy's parser would otherwise treat differently.
 _FAST_NUMBER = r"-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?|nan|inf|-inf"
 _FAST_NUMERIC_COLUMN_RE = re.compile(rf"(?:{_FAST_NUMBER})(?:\n(?:{_FAST_NUMBER}))*")
+
+#: Characters of a *plain decimal* column chunk: digits, sign, dot and the
+#: cell separator.  Within this charset, the only strings NumPy's float
+#: parser accepts but :data:`_NUMBER_RE` rejects are leading/trailing-dot
+#: forms (``.5``, ``5.``, ``-.5``), so a chunk passing the charclass scan and
+#: :func:`_plain_decimal_column`'s dot checks can skip the full grammar regex
+#: — NumPy's own ``ValueError`` rejects everything else (``1-2``, ``1.2.3``,
+#: empty cells), which then re-parses cell by cell.
+_FAST_PLAIN_CHARS_RE = re.compile(r"[0-9.\-\n]+")
+
+#: One text cell the fast path may keep verbatim: non-empty, no leading or
+#: trailing whitespace, and not opening with generalized syntax — exactly the
+#: cells :func:`parse_cell` returns stripped-and-unchanged.  A column chunk
+#: whose joined cells fullmatch this grammar needs no per-cell work at all.
+_FAST_TEXT_CELL = r"[^\s*\[{](?:[^\n]*[^\s\n])?"
+_FAST_TEXT_COLUMN_RE = re.compile(rf"(?:{_FAST_TEXT_CELL})(?:\n(?:{_FAST_TEXT_CELL}))*")
 
 #: Largest float64 magnitude the fast path narrows to ``int64`` (all integral
 #: float64 values below it convert exactly).
@@ -305,18 +326,49 @@ def _parse_csv_rows(
         )
 
 
-def _fast_parse_column(cells: tuple[str, ...], kind: AttributeKind) -> np.ndarray:
-    """Parse one column chunk, vectorizing the all-plain-numbers case.
+def _plain_decimal_column(joined: str) -> bool:
+    """True when the joined chunk is plain signed decimals, cheaply.
 
-    The joined chunk must fullmatch the plain-number grammar for the
-    vectorized conversion to be trusted; any other content — empty cells,
-    generalized syntax, padding, spellings NumPy and :func:`parse_cell`
-    disagree on — re-parses the chunk cell by cell, which is exactly the
-    line-by-line path.
+    A charclass fullmatch plus a handful of substring scans (every pass at C
+    speed) replaces the full number-grammar regex for the overwhelmingly
+    common chunk shape.  The dot checks reject exactly the NumPy-accepted,
+    grammar-rejected forms: a dot must have a digit on both sides, i.e. it
+    may not touch a cell boundary, a sign, or another dot.
+    """
+    if not _FAST_PLAIN_CHARS_RE.fullmatch(joined):
+        return False
+    if "." in joined:
+        if joined[0] == "." or joined[-1] == ".":
+            return False
+        for bad in ("..", "-.", ".-", ".\n", "\n."):
+            if bad in joined:
+                return False
+    return True
+
+
+def _fast_parse_column(cells: list[str], kind: AttributeKind) -> np.ndarray:
+    """Parse one column chunk, vectorizing the all-plain-content cases.
+
+    The joined chunk must pass the plain-decimal scan or fullmatch the
+    number grammar (numeric columns), or fullmatch the plain-text grammar
+    (everything else), for the vectorized conversion to be trusted; any
+    other content — empty cells, generalized syntax, padding, spellings
+    NumPy and :func:`parse_cell` disagree on — re-parses the chunk cell by
+    cell, which is exactly the line-by-line path.
     """
     if kind is AttributeKind.NUMERIC:
-        if _FAST_NUMERIC_COLUMN_RE.fullmatch("\n".join(cells)):
+        joined = "\n".join(cells)
+        values = None
+        if _plain_decimal_column(joined):
+            try:
+                values = np.asarray(cells, dtype=np.float64)
+            except ValueError:
+                # NumPy is the arbiter of structure the scans don't check
+                # ("1-2", "1.2.3", empty cells): re-parse cell by cell.
+                values = None
+        elif _FAST_NUMERIC_COLUMN_RE.fullmatch(joined):
             values = np.asarray(cells, dtype=np.float64)
+        if values is not None:
             if bool(np.isfinite(values).all()) and bool(
                 (values == np.floor(values)).all()
             ):
@@ -331,8 +383,11 @@ def _fast_parse_column(cells: tuple[str, ...], kind: AttributeKind) -> np.ndarra
                 return values
         return _as_column_array([parse_cell(cell, kind) for cell in cells])
     # Non-numeric columns: an ordinary cell — non-empty once stripped, not
-    # starting with generalized syntax — is its stripped text verbatim, so
-    # only the special minority pays the parse_cell regex probes.
+    # starting with generalized syntax — is its stripped text verbatim.  One
+    # regex scan proves a chunk is all-ordinary (and already stripped), so
+    # only chunks with a special minority pay the per-cell probes.
+    if _FAST_TEXT_COLUMN_RE.fullmatch("\n".join(cells)):
+        return _as_column_array(cells)
     parsed: list[object] = []
     for cell in cells:
         text = cell.strip()
@@ -343,7 +398,7 @@ def _fast_parse_column(cells: tuple[str, ...], kind: AttributeKind) -> np.ndarra
     return _as_column_array(parsed)
 
 
-def _append_fast_chunk(
+def _append_fast_chunk_rows(
     columns: _ChunkedColumns,
     chunk_lines: list[str],
     names: list[str],
@@ -351,9 +406,12 @@ def _append_fast_chunk(
     source: str,
     start_line: int,
 ) -> None:
-    """Split, transpose and parse one quote-free block of raw lines."""
-    if not chunk_lines:
-        return
+    """Split, transpose and parse a quote-free block line by line.
+
+    This is the exact-error path: it tolerates blank lines, bare ``\\r``
+    endings and lines without terminators, and reports the precise document
+    line of a row with the wrong cell count.
+    """
     expected = len(names)
     rows: list[list[str]] = []
     for offset, raw in enumerate(chunk_lines):
@@ -371,8 +429,70 @@ def _append_fast_chunk(
         return
     columns.append_chunk(
         {
-            name: _fast_parse_column(column_cells, kind)
+            name: _fast_parse_column(list(column_cells), kind)
             for name, kind, column_cells in zip(names, kinds, zip(*rows))
+        }
+    )
+
+
+def _append_fast_chunk(
+    columns: _ChunkedColumns,
+    chunk_lines: list[str],
+    names: list[str],
+    kinds: list[AttributeKind],
+    source: str,
+    start_line: int,
+    block: str | None = None,
+) -> None:
+    """Split, transpose and parse one quote-free block of raw lines.
+
+    The common case never touches the lines individually: the block is one
+    joined string, the whole cell grid comes from a single ``replace`` +
+    ``split(",")`` pass over it, and each column is a strided slice of the
+    flat cell list.  Anything the flat view cannot represent bit-identically
+    — a missing line terminator, a bare ``\\r`` ending, a blank interior
+    line, a row with the wrong cell count — falls back to
+    :func:`_append_fast_chunk_rows`, which also owns the exact error
+    messages.
+    """
+    if not chunk_lines:
+        return
+    if block is None:
+        block = "".join(chunk_lines)
+    if not block.endswith("\n"):
+        block += "\n"
+    if "\r" in block:
+        block = block.replace("\r\n", "\n")
+    if (
+        "\r" in block  # a bare \r ending survived CRLF normalization
+        or block.count("\n") != len(chunk_lines)  # unterminated line mid-chunk
+        or block.startswith("\n")  # blank first line
+        or "\n\n" in block  # blank interior/trailing line
+    ):
+        _append_fast_chunk_rows(columns, chunk_lines, names, kinds, source, start_line)
+        return
+    body = block[:-1]
+    expected = len(names)
+    if expected == 1:
+        if "," in body:  # some row has more than one cell: exact error path
+            _append_fast_chunk_rows(
+                columns, chunk_lines, names, kinds, source, start_line
+            )
+            return
+        flat = body.split("\n")
+    else:
+        row_strings = body.split("\n")
+        counts = set(map(str.count, row_strings, repeat(",")))
+        if counts != {expected - 1}:
+            _append_fast_chunk_rows(
+                columns, chunk_lines, names, kinds, source, start_line
+            )
+            return
+        flat = body.replace("\n", ",").split(",")
+    columns.append_chunk(
+        {
+            name: _fast_parse_column(flat[index::expected], kind)
+            for index, (name, kind) in enumerate(zip(names, kinds))
         }
     )
 
@@ -429,31 +549,35 @@ def stream_csv(
     kinds = [schema[name].kind for name in names]
     columns = _ChunkedColumns(list(names), chunk_rows)
 
-    chunk: list[str] = []
-    chunk_start = 3  # 1-based line number of the first line in `chunk`
-    line_number = 2
-    for line in iterator:
-        line_number += 1
-        if '"' in line:
-            # Quoted content from here on (possibly spanning lines): parse the
-            # quote-free block gathered so far, then hand the rest — starting
-            # with this line — to the csv machinery.
-            _append_fast_chunk(columns, chunk, names, kinds, source, chunk_start)
+    chunk_start = 3  # 1-based line number of the first line in the chunk
+    while True:
+        chunk = list(islice(iterator, chunk_rows))
+        if not chunk:
+            break
+        block = "".join(chunk)
+        if '"' in block:
+            # Quoted content (possibly spanning lines): parse the quote-free
+            # prefix, then hand the rest — starting with the first quoted
+            # line — to the csv machinery.
+            quoted = next(
+                index for index, line in enumerate(chunk) if '"' in line
+            )
+            _append_fast_chunk(
+                columns, chunk[:quoted], names, kinds, source, chunk_start
+            )
             _parse_csv_rows(
-                csv.reader(chain([line], iterator)),
+                csv.reader(chain(chunk[quoted:], iterator)),
                 columns,
                 names,
                 kinds,
                 source,
-                line_offset=line_number - 1,
+                line_offset=chunk_start + quoted - 1,
             )
             return columns.finish(schema)
-        chunk.append(line)
-        if len(chunk) >= chunk_rows:
-            _append_fast_chunk(columns, chunk, names, kinds, source, chunk_start)
-            chunk_start += len(chunk)
-            chunk = []
-    _append_fast_chunk(columns, chunk, names, kinds, source, chunk_start)
+        _append_fast_chunk(
+            columns, chunk, names, kinds, source, chunk_start, block=block
+        )
+        chunk_start += len(chunk)
     return columns.finish(schema)
 
 
