@@ -261,7 +261,11 @@ class _ChunkedColumns:
 
 
 def _write_csv_to(handle, table: Table) -> None:
-    """Stream ``table`` as CSV rows into an open text handle."""
+    """Stream ``table`` as CSV rows into an open text handle.
+
+    This is the row-by-row ``csv.writer`` reference renderer; the columnar
+    :func:`render_csv` is property-tested byte-identical to it.
+    """
     writer = csv.writer(handle)
     writer.writerow(table.schema.names)
     writer.writerow(
@@ -271,16 +275,132 @@ def _write_csv_to(handle, table: Table) -> None:
         writer.writerow([render_cell(row[name]) for name in table.schema.names])
 
 
+def _render_csv_reference(table: Table) -> str:
+    """The historical row-by-row rendering (kept as the property-test oracle)."""
+    buffer = _io.StringIO()
+    _write_csv_to(buffer, table)
+    return buffer.getvalue()
+
+
+def _quote_cells(cells: list[str]) -> list[str]:
+    """Apply ``csv.writer``'s QUOTE_MINIMAL quoting to a column of cells.
+
+    One disjoint-membership scan over the joined column proves the common
+    case — no delimiter, quote or line-break anywhere — and returns the
+    cells untouched; only columns actually containing special characters pay
+    the per-cell pass.
+    """
+    probe = "\x00".join(cells)
+    if (
+        '"' not in probe
+        and "," not in probe
+        and "\r" not in probe
+        and "\n" not in probe
+    ):
+        return cells
+    quoted = []
+    for cell in cells:
+        if '"' in cell:
+            quoted.append('"' + cell.replace('"', '""') + '"')
+        elif "," in cell or "\r" in cell or "\n" in cell:
+            quoted.append('"' + cell + '"')
+        else:
+            quoted.append(cell)
+    return quoted
+
+
+def _format_int_column(array: np.ndarray) -> list[str]:
+    # One vectorized cast: the ``U21`` strings of an int64 array are exactly
+    # ``str(value)`` for every representable value.
+    return array.astype("U21").tolist()
+
+
+def _format_float_column(array: np.ndarray) -> list[str]:
+    """Format a float64 column with :func:`render_cell` semantics.
+
+    Integral values (including whole-number floats beyond int64, which
+    ``str(int(v))`` expands rather than showing ``1e+30``) render as
+    integers; non-finite values use the fixed ``nan``/``inf`` spellings;
+    everything else is the shortest-repr ``str(value)``.
+    """
+    finite = np.isfinite(array)
+    integral = finite & (array == np.floor(array))
+    if integral.all():
+        if (np.abs(array) < _INT64_LIMIT).all():
+            return array.astype(np.int64).astype("U21").tolist()
+    elif finite.all() and not integral.any():
+        return [str(value) for value in array.tolist()]
+    values = array.tolist()
+    flags = integral.tolist()
+    cells = []
+    for value, is_integral in zip(values, flags):
+        if is_integral:
+            cells.append(str(int(value)))
+        elif value == value and not math.isinf(value):
+            cells.append(str(value))
+        elif value != value:
+            cells.append("nan")
+        else:
+            cells.append("inf" if value > 0 else "-inf")
+    return cells
+
+
+def _format_object_column(array: np.ndarray) -> list[str]:
+    """Render an object column per cell, memoizing repeated cell objects.
+
+    Generalized release columns repeat one :class:`Interval` /
+    :class:`CategorySet` object per equivalence class, so the memo (keyed by
+    object identity — every cell is kept alive by the array during the pass)
+    collapses a million renders into one per class.
+    """
+    if array.dtype != object:  # id-memoization needs stably-owned cell objects
+        return [render_cell(value) for value in array.tolist()]
+    memo: dict[int, str] = {}
+    cells = []
+    for value in array:
+        if type(value) is str:
+            cells.append(value)
+            continue
+        rendered = memo.get(id(value))
+        if rendered is None:
+            rendered = render_cell(value)
+            memo[id(value)] = rendered
+        cells.append(rendered)
+    return cells
+
+
 def render_csv(table: Table) -> str:
     """Render ``table`` to CSV text (exactly the bytes :func:`write_csv` writes).
 
     The anonymization service uses this to serve releases: rendering once and
     caching the text guarantees every client of a cached release receives
     byte-identical output.
+
+    The rendering is **columnar**: each column formats in one vectorized (or
+    memoized) pass, quoting is decided by one scan per column, and the body
+    assembles with bulk ``str.join`` — byte-identical to the row-by-row
+    ``csv.writer`` reference (property-tested), at a fraction of the object
+    churn.
     """
-    buffer = _io.StringIO()
-    _write_csv_to(buffer, table)
-    return buffer.getvalue()
+    header = _io.StringIO()
+    writer = csv.writer(header)
+    writer.writerow(table.schema.names)
+    writer.writerow(
+        [f"{attr.role.value}:{attr.kind.value}" for attr in table.schema.attributes]
+    )
+    if table.num_rows == 0:
+        return header.getvalue()
+    columns: list[list[str]] = []
+    for name in table.schema.names:
+        array = table.column_array(name)
+        if array.dtype.kind == "i":
+            columns.append(_format_int_column(array))
+        elif array.dtype.kind == "f":
+            columns.append(_format_float_column(array))
+        else:
+            columns.append(_quote_cells(_format_object_column(array)))
+    body = "\r\n".join(",".join(cells) for cells in zip(*columns))
+    return header.getvalue() + body + "\r\n"
 
 
 def write_csv(table: Table, path: str | Path) -> Path:

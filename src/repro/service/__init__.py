@@ -9,14 +9,24 @@ production-shaped service:
 * :mod:`repro.service.cache` — the two-tier (LRU + disk-spill) result cache
   with single-flight computation, the mechanism behind exactly-once work
   under concurrent identical requests;
+* :mod:`repro.service.codec` — the array-native spill container: large
+  cached artifacts serialize as aligned column buffers and load back as
+  zero-copy views over one shared memory mapping;
 * :mod:`repro.service.jobs` — the bounded worker pool running FRED sweeps
   as pollable jobs;
-* :mod:`repro.service.http` — the stdlib threaded JSON/HTTP front end
-  (``repro serve`` on the command line).
+* :mod:`repro.service.http` — the stdlib JSON/HTTP front end
+  (``repro serve`` on the command line), single-process threaded or
+  multi-process via ``SO_REUSEPORT`` (``workers=N``), with chunked
+  streaming of large release bodies.
 """
 
 from repro.service.cache import TwoTierCache
-from repro.service.core import ALGORITHMS, AnonymizationService, ReleaseArtifact
+from repro.service.core import (
+    ALGORITHMS,
+    AnonymizationService,
+    ReleaseArtifact,
+    ServiceConfig,
+)
 from repro.service.http import ServiceServer, build_server
 from repro.service.jobs import Job, JobManager
 
@@ -24,6 +34,7 @@ __all__ = [
     "ALGORITHMS",
     "AnonymizationService",
     "ReleaseArtifact",
+    "ServiceConfig",
     "TwoTierCache",
     "Job",
     "JobManager",

@@ -8,9 +8,22 @@ two tiers:
 
 * an **in-process LRU** bounded by entry count (the hot tier every request
   hits first);
-* an optional **on-disk spill** directory holding pickled entries keyed by
-  the sha256 of the cache key, so results survive LRU eviction and process
-  restarts.
+* an optional **on-disk spill** directory holding entries keyed by the
+  sha256 of the cache key, so results survive LRU eviction and process
+  restarts.  Large array-bearing values (release tables, rendered CSV
+  bytes, estimate vectors) spill through the structured container codec
+  (:mod:`repro.service.codec`) and load back as zero-copy views over one
+  memory mapping; everything else spills as a pickled ``(key, value)``
+  pair.  Writes are atomic (temp file + rename) either way, so the spill
+  directory can be *shared between worker processes* — the multi-process
+  HTTP front uses it as the common cache tier, with cross-process races
+  reduced to harmless double-writes of identical content.
+
+The spill directory is optionally garbage-collected: give the cache a
+``max_spill_bytes`` / ``max_spill_entries`` budget and the least recently
+*used* files (by mtime — loads touch the file) are evicted after each spill
+write.  Evicting a file another process still maps is safe: the mapping
+keeps the pages alive until released.
 
 Concurrency: lookups and computations go through :meth:`TwoTierCache.get_or_compute`,
 which implements **single-flight** semantics — when N threads miss on the
@@ -34,8 +47,13 @@ from pathlib import Path
 from typing import Callable, TypeVar
 
 from repro.exceptions import ServiceError
+from repro.service.codec import SPILL_CONTAINER_SUFFIX, decode_entry, encode_entry
 
 __all__ = ["TwoTierCache"]
+
+#: Spill suffixes subject to garbage collection (other files — the dataset
+#: store subdirectory, in-flight temp files — are never touched).
+_SPILL_SUFFIXES = (".pkl", SPILL_CONTAINER_SUFFIX)
 
 T = TypeVar("T")
 
@@ -65,19 +83,38 @@ class TwoTierCache:
         entry is evicted first.  Evicted entries remain retrievable from the
         spill directory when one is configured.
     spill_dir:
-        Optional directory for the persistent tier.  Entries are pickled as
-        ``(key, value)`` pairs under the sha256 of the key and written
-        atomically (temp file + rename), so concurrent writers and abrupt
-        shutdowns never leave a torn entry.
+        Optional directory for the persistent tier.  Entries are stored
+        under the sha256 of the key — as a structured array container
+        (``.npc``) when the value is large and array-bearing, as a pickled
+        ``(key, value)`` pair (``.pkl``) otherwise — and written atomically
+        (temp file + rename), so concurrent writers and abrupt shutdowns
+        never leave a torn entry.
+    max_spill_bytes / max_spill_entries:
+        Optional garbage-collection budget for the spill directory.  After
+        each spill write, the least recently used files (by mtime; loads
+        touch) are deleted until both limits hold.  ``None`` (the default)
+        leaves that dimension unbounded.
     """
 
-    def __init__(self, capacity: int = 128, spill_dir: str | Path | None = None) -> None:
+    def __init__(
+        self,
+        capacity: int = 128,
+        spill_dir: str | Path | None = None,
+        max_spill_bytes: int | None = None,
+        max_spill_entries: int | None = None,
+    ) -> None:
         if capacity < 1:
             raise ServiceError(f"cache capacity must be >= 1, got {capacity}")
+        if max_spill_bytes is not None and max_spill_bytes < 1:
+            raise ServiceError(f"max spill bytes must be >= 1, got {max_spill_bytes}")
+        if max_spill_entries is not None and max_spill_entries < 1:
+            raise ServiceError(f"max spill entries must be >= 1, got {max_spill_entries}")
         self._capacity = capacity
         self._spill_dir = Path(spill_dir) if spill_dir is not None else None
         if self._spill_dir is not None:
             self._spill_dir.mkdir(parents=True, exist_ok=True)
+        self._max_spill_bytes = max_spill_bytes
+        self._max_spill_entries = max_spill_entries
         self._lock = threading.Lock()
         self._memory: OrderedDict[CacheKey, object] = OrderedDict()
         self._inflight: dict[CacheKey, _InFlight] = {}
@@ -86,6 +123,8 @@ class TwoTierCache:
         self._misses = 0
         self._computations = 0
         self._coalesced_waits = 0
+        self._container_spills = 0
+        self._spill_evictions = 0
 
     # Lookup / computation ------------------------------------------------------
 
@@ -175,6 +214,8 @@ class TwoTierCache:
                 "misses": self._misses,
                 "computations": self._computations,
                 "coalesced_waits": self._coalesced_waits,
+                "container_spills": self._container_spills,
+                "spill_evictions": self._spill_evictions,
             }
 
     def clear(self) -> None:
@@ -197,15 +238,32 @@ class TwoTierCache:
         return self._spill_dir / f"{digest}.pkl"
 
     def _spill(self, key: CacheKey, value: object) -> None:
+        """Persist an entry: container when it pays off, pickle otherwise.
+
+        Best-effort — any failure leaves the memory tier as the only copy.
+        The twin file of the *other* codec is removed on success so a
+        re-spill never leaves two generations answering for one key.
+        """
         if self._spill_dir is None:
             return
         path = self._spill_path(key)
+        container = path.with_suffix(SPILL_CONTAINER_SUFFIX)
         temp = path.with_suffix(f".tmp.{os.getpid()}.{threading.get_ident()}")
         try:
-            with temp.open("wb") as handle:
-                pickle.dump((key, value), handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(temp, path)
-        except (OSError, pickle.PicklingError):
+            payload = encode_entry(key, value)
+            if payload is not None:
+                temp.write_bytes(payload)
+                os.replace(temp, container)
+                path.unlink(missing_ok=True)
+                with self._lock:
+                    self._container_spills += 1
+            else:
+                with temp.open("wb") as handle:
+                    pickle.dump((key, value), handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(temp, path)
+                container.unlink(missing_ok=True)
+            self._collect_spill()
+        except (OSError, pickle.PicklingError, TypeError, ValueError):
             temp.unlink(missing_ok=True)  # spill is best-effort; memory tier holds the value
 
     def _load_spilled(self, key: CacheKey) -> tuple[bool, object | None]:
@@ -214,10 +272,17 @@ class TwoTierCache:
         The explicit hit flag keeps a legitimately cached ``None`` value
         distinguishable from a miss — returning the bare value would make
         every lookup of such an entry recompute (and re-spill) it forever.
+        Hits touch the file's mtime, making the GC order least-recently-used
+        rather than least-recently-written.
         """
         if self._spill_dir is None:
             return False, None
         path = self._spill_path(key)
+        container = path.with_suffix(SPILL_CONTAINER_SUFFIX)
+        ok, stored_key, value = decode_entry(container)
+        if ok and stored_key == key:
+            self._touch(container)
+            return True, value
         try:
             with path.open("rb") as handle:
                 stored_key, value = pickle.load(handle)
@@ -225,7 +290,47 @@ class TwoTierCache:
             return False, None
         if stored_key != key:  # sha collision or foreign file: ignore
             return False, None
+        self._touch(path)
         return True, value
+
+    @staticmethod
+    def _touch(path: Path) -> None:
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+
+    def _collect_spill(self) -> None:
+        """Evict least-recently-used spill files until the budget holds."""
+        if self._spill_dir is None:
+            return
+        if self._max_spill_bytes is None and self._max_spill_entries is None:
+            return
+        entries: list[tuple[float, int, Path]] = []
+        total = 0
+        for child in self._spill_dir.iterdir():
+            if child.suffix not in _SPILL_SUFFIXES or not child.is_file():
+                continue
+            try:
+                stat = child.stat()
+            except OSError:
+                continue  # concurrently evicted by a sibling process
+            entries.append((stat.st_mtime, stat.st_size, child))
+            total += stat.st_size
+        entries.sort(key=lambda item: item[0])
+        count = len(entries)
+        for _, size, child in entries:
+            within_entries = self._max_spill_entries is None or count <= self._max_spill_entries
+            within_bytes = self._max_spill_bytes is None or total <= self._max_spill_bytes
+            if within_entries and within_bytes:
+                break
+            # Unlinking a file a sibling process still maps is safe: the
+            # mapping holds the pages until the last view is released.
+            child.unlink(missing_ok=True)
+            count -= 1
+            total -= size
+            with self._lock:
+                self._spill_evictions += 1
 
 
 class _Sentinel:

@@ -1,0 +1,461 @@
+"""Array-native spill container for cached service artifacts.
+
+The two-tier cache used to pickle every spilled value.  For the artifacts the
+serving tier actually caches — anonymized release tables, their rendered CSV
+bytes, per-record attack estimate vectors, FRED sweep summaries — pickling
+means rebuilding millions of Python objects on every load in every worker
+process.  This module provides a structured alternative: one flat container
+file whose large payloads are stored as raw, 64-byte-aligned array segments.
+
+Loading maps the file **once** (``np.memmap(path, mode="r")``) and hands out
+zero-copy views into the mapping:
+
+* ``int64`` / ``float64`` table columns come back as read-only array views of
+  the mapping — a spilled 1M-row release is *mapped*, not re-materialized;
+* text columns are stored as fixed-width ``U`` segments and viewed in place;
+* cached CSV renderings come back as a :class:`memoryview` over the mapping,
+  so serving a spilled release writes straight from the page cache to the
+  socket;
+* a :class:`~repro.service.core.ReleaseArtifact`'s table decodes **lazily** —
+  a worker that only serves the cached CSV bytes never rebuilds the table.
+
+Because the segments live in ordinary files, the mapping is shared between
+the pre-fork worker processes of :class:`~repro.service.http.ServiceServer`:
+every worker reads the same physical pages instead of holding a private
+pickled replica.
+
+Values the structured encoders do not cover (or odd leaves inside covered
+values) fall back to pickle — either a pickle segment inside the container or
+the cache's plain ``.pkl`` spill for values that are not worth a container at
+all (:func:`encode_entry` returns ``None`` for those).
+
+Container layout
+----------------
+::
+
+    magic "#repro-npc1\\n"  | uint32 manifest length | manifest JSON | pad
+    segment 0 (64-byte aligned) | segment 1 | ...
+
+The manifest holds the (pickled) cache key's segment index, a JSON tree
+describing how to reassemble the value, and one ``(dtype, shape, offset,
+nbytes)`` record per segment.  Writers are atomic at the caller (temp file +
+``os.replace``), so a torn container can never be observed under its final
+name; :func:`decode_entry` additionally treats any malformed container as a
+cache miss rather than an error.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import math
+import pickle
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.dataset.generalization import SUPPRESSED, Interval, Suppressed
+from repro.dataset.schema import Attribute, AttributeKind, AttributeRole, Schema
+from repro.dataset.table import Table
+
+__all__ = [
+    "encode_entry",
+    "decode_entry",
+    "encodable_cells",
+    "SPILL_CONTAINER_SUFFIX",
+    "SPILL_MIN_CELLS",
+]
+
+#: File suffix of container spills (pickle spills keep ``.pkl``).
+SPILL_CONTAINER_SUFFIX = ".npc"
+
+#: Values holding fewer array-encodable cells than this spill as pickle —
+#: below it the container bookkeeping costs more than it saves.
+SPILL_MIN_CELLS = 2048
+
+#: Leaf lists shorter than this are inlined in the manifest instead of
+#: getting their own segment.
+_MIN_SEGMENT_ITEMS = 16
+
+_MAGIC = b"#repro-npc1\n"
+_ALIGN = 64
+
+#: Object-column cell tags of the ``tagged`` encoding.
+_TAG_NONE = 0
+_TAG_INT = 1
+_TAG_FLOAT = 2
+_TAG_INTERVAL = 3
+_TAG_SUPPRESSED = 4
+
+#: Largest integer magnitude stored through the float64 payload lanes of the
+#: ``tagged`` encoding without precision loss.
+_EXACT_INT = 2**53
+
+
+class _Writer:
+    """Accumulates aligned segments and their manifest records."""
+
+    def __init__(self) -> None:
+        self.records: list[dict[str, object]] = []
+        self.payloads: list[bytes | memoryview] = []
+        self.offset = 0  # relative to the start of the segment area
+
+    def add(self, array: np.ndarray) -> int:
+        data = np.ascontiguousarray(array)
+        payload = data.view(np.uint8).reshape(-1).data if data.nbytes else b""
+        index = len(self.records)
+        self.records.append(
+            {
+                "dtype": data.dtype.str,
+                "shape": list(data.shape),
+                "offset": self.offset,
+                "nbytes": data.nbytes,
+            }
+        )
+        self.payloads.append(payload)
+        self.offset += data.nbytes + (-data.nbytes) % _ALIGN
+        return index
+
+    def add_bytes(self, payload: bytes) -> int:
+        return self.add(np.frombuffer(payload, dtype=np.uint8))
+
+
+def _json_safe(value: object) -> bool:
+    """Whether a scalar survives a JSON round trip exactly."""
+    if value is None or isinstance(value, (bool, str)):
+        return True
+    if isinstance(value, int):
+        return True
+    if isinstance(value, float):
+        return math.isfinite(value)
+    return False
+
+
+def _pickle_node(writer: _Writer, value: object) -> dict[str, object]:
+    return {"t": "pickle", "i": writer.add_bytes(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))}
+
+
+def _encode_listlike(writer: _Writer, values: list | tuple) -> dict[str, object]:
+    """A list/tuple node; long homogeneous primitive runs become segments."""
+    kind = "tuple" if isinstance(values, tuple) else "list"
+    if len(values) >= _MIN_SEGMENT_ITEMS:
+        if all(type(v) is float for v in values):
+            return {"t": f"{kind}-seg", "i": writer.add(np.asarray(values, dtype=np.float64))}
+        if all(type(v) is int for v in values):
+            array = np.asarray(values, dtype=object)
+            try:
+                return {"t": f"{kind}-seg", "i": writer.add(array.astype(np.int64))}
+            except (OverflowError, TypeError, ValueError):
+                pass
+        if all(type(v) is str for v in values):
+            return {"t": f"{kind}-seg", "i": writer.add(np.asarray(values, dtype="U"))}
+    return {"t": kind, "items": [_encode_node(writer, v) for v in values]}
+
+
+def _encode_object_column(writer: _Writer, array: np.ndarray) -> dict[str, object]:
+    """One object storage column: ``U`` strings, tagged cells, or pickle."""
+    values = list(array)
+    if all(type(v) is str for v in values):
+        return {"t": "col-str", "i": writer.add(np.asarray(values, dtype="U"))}
+
+    tags = np.empty(len(values), dtype=np.uint8)
+    payload = np.zeros((len(values), 2), dtype=np.float64)
+    for row, value in enumerate(values):
+        if value is None:
+            tags[row] = _TAG_NONE
+        elif isinstance(value, Suppressed):
+            tags[row] = _TAG_SUPPRESSED
+        elif isinstance(value, Interval):
+            tags[row] = _TAG_INTERVAL
+            payload[row, 0] = value.low
+            payload[row, 1] = value.high
+        elif type(value) is int and -_EXACT_INT <= value <= _EXACT_INT:
+            tags[row] = _TAG_INT
+            payload[row, 0] = float(value)
+        elif type(value) is float:
+            tags[row] = _TAG_FLOAT
+            payload[row, 0] = value
+        else:  # CategorySet, big ints, exotic cells: exact bytes via pickle
+            return {"t": "col-pickle", "i": writer.add_bytes(pickle.dumps(values, protocol=pickle.HIGHEST_PROTOCOL))}
+    return {"t": "col-tagged", "tags": writer.add(tags), "values": writer.add(payload)}
+
+
+def _encode_table(writer: _Writer, table: Table) -> dict[str, object]:
+    columns = []
+    for name in table.schema.names:
+        array = table.column_array(name)
+        if array.dtype.kind in "if":
+            columns.append({"t": "col-num", "i": writer.add(array)})
+        else:
+            columns.append(_encode_object_column(writer, array))
+    return {
+        "t": "table",
+        "rows": table.num_rows,
+        "schema": [
+            [a.name, a.role.value, a.kind.value, a.description]
+            for a in table.schema.attributes
+        ],
+        "columns": columns,
+    }
+
+
+def _encode_node(writer: _Writer, value: object) -> dict[str, object]:
+    """Encode one value into a manifest node, adding segments as needed."""
+    # Imported lazily to avoid a circular import at module load.
+    from repro.service.core import ReleaseArtifact
+
+    if isinstance(value, Table):
+        return _encode_table(writer, value)
+    if isinstance(value, ReleaseArtifact):
+        node: dict[str, object] = {
+            "t": "artifact",
+            "dataset": value.dataset,
+            "algorithm": value.algorithm,
+            "k": value.k,
+            "style": value.style,
+            "class_sizes": _encode_listlike(writer, tuple(value.class_sizes)),
+            "table": _encode_table(writer, value.table),
+        }
+        rendered = value.csv_bytes_cache
+        if rendered is not None:
+            node["csv"] = writer.add_bytes(bytes(rendered))
+        return node
+    if isinstance(value, np.ndarray):
+        if value.dtype == object:
+            return _pickle_node(writer, value)
+        return {"t": "ndarray", "i": writer.add(value)}
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return {"t": "bytes", "i": writer.add_bytes(bytes(value))}
+    if isinstance(value, dict):
+        if all(type(k) is str for k in value):
+            return {
+                "t": "dict",
+                "keys": list(value.keys()),
+                "values": [_encode_node(writer, v) for v in value.values()],
+            }
+        return _pickle_node(writer, value)
+    if isinstance(value, (list, tuple)):
+        return _encode_listlike(writer, value)
+    if _json_safe(value):
+        return {"t": "json", "v": value}
+    return _pickle_node(writer, value)
+
+
+def encodable_cells(value: object) -> int:
+    """A cheap lower bound on the array-encodable cells inside ``value``.
+
+    The cache uses this to decide whether a value deserves a container
+    (``>= SPILL_MIN_CELLS``) or should just be pickled.  The estimate only
+    descends into the container types the encoder handles structurally.
+    """
+    from repro.service.core import ReleaseArtifact
+
+    if isinstance(value, Table):
+        return value.num_rows * max(value.num_columns, 1)
+    if isinstance(value, ReleaseArtifact):
+        rendered = value.csv_bytes_cache
+        return encodable_cells(value.peek_table()) + (len(rendered) if rendered else 0)
+    if isinstance(value, np.ndarray):
+        return int(value.size)
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return len(value)
+    if isinstance(value, dict):
+        return sum(encodable_cells(v) for v in value.values())
+    if isinstance(value, (list, tuple)):
+        if all(isinstance(v, (int, float, str)) for v in value):
+            return len(value)
+        return sum(encodable_cells(v) for v in value)
+    return 0
+
+
+def encode_entry(key: tuple, value: object, force: bool = False) -> bytes | None:
+    """Serialize ``(key, value)`` as a container, or ``None`` to use pickle.
+
+    ``None`` means the value is not worth a container (too few array-encodable
+    cells); it never means failure — any value *can* be containerized because
+    odd leaves fall back to embedded pickle segments.  ``force`` skips the
+    size heuristic (the shared dataset store wants a container regardless).
+    """
+    if not force and encodable_cells(value) < SPILL_MIN_CELLS:
+        return None
+    writer = _Writer()
+    key_index = writer.add_bytes(pickle.dumps(key, protocol=pickle.HIGHEST_PROTOCOL))
+    root = _encode_node(writer, value)
+    manifest = json.dumps(
+        {"version": 1, "key": key_index, "root": root, "segments": writer.records},
+        separators=(",", ":"),
+    ).encode("utf-8")
+
+    buffer = io.BytesIO()
+    buffer.write(_MAGIC)
+    buffer.write(len(manifest).to_bytes(4, "big"))
+    buffer.write(manifest)
+    header_end = buffer.tell()
+    buffer.write(b"\x00" * ((-header_end) % _ALIGN))
+    base = buffer.tell()
+    for record, payload in zip(writer.records, writer.payloads):
+        position = base + int(record["offset"])  # type: ignore[arg-type]
+        buffer.write(b"\x00" * (position - buffer.tell()))
+        buffer.write(payload)
+    return buffer.getvalue()
+
+
+class _Reader:
+    """Decodes manifest nodes against one shared memory mapping."""
+
+    def __init__(self, mapping: np.ndarray, base: int, segments: list[dict]) -> None:
+        self._mapping = mapping
+        self._base = base
+        self._segments = segments
+
+    def segment(self, index: int) -> np.ndarray:
+        record = self._segments[index]
+        start = self._base + int(record["offset"])
+        stop = start + int(record["nbytes"])
+        flat = self._mapping[start:stop]
+        array = flat.view(np.dtype(record["dtype"]))
+        return array.reshape(tuple(record["shape"]))
+
+    def raw(self, index: int) -> bytes:
+        return self.segment(index).tobytes()
+
+    def decode(self, node: dict) -> object:
+        kind = node["t"]
+        if kind == "json":
+            return node["v"]
+        if kind == "pickle":
+            return pickle.loads(self.raw(node["i"]))
+        if kind == "bytes":
+            # Zero-copy: a memoryview over the mapping, sliceable for
+            # chunked streaming without materializing the payload.
+            segment = self.segment(node["i"])
+            return segment.data if segment.size else memoryview(b"")
+        if kind == "ndarray":
+            return self.segment(node["i"])
+        if kind in ("list-seg", "tuple-seg"):
+            values = self.segment(node["i"]).tolist()
+            return tuple(values) if kind == "tuple-seg" else values
+        if kind in ("list", "tuple"):
+            items = [self.decode(item) for item in node["items"]]
+            return tuple(items) if kind == "tuple" else items
+        if kind == "dict":
+            return {
+                key: self.decode(item)
+                for key, item in zip(node["keys"], node["values"])
+            }
+        if kind == "table":
+            return self.decode_table(node)
+        if kind == "artifact":
+            return self._decode_artifact(node)
+        raise ValueError(f"unknown container node type: {kind!r}")
+
+    def decode_table(self, node: dict) -> Table:
+        schema = Schema(
+            [
+                Attribute(name, AttributeRole(role), AttributeKind(kind), description)
+                for name, role, kind, description in node["schema"]
+            ]
+        )
+        arrays: dict[str, np.ndarray] = {}
+        for attribute, column in zip(schema.attributes, node["columns"]):
+            arrays[attribute.name] = self._decode_column(column)
+        return Table._from_arrays(schema, arrays, int(node["rows"]))
+
+    def _decode_column(self, node: dict) -> np.ndarray:
+        kind = node["t"]
+        if kind == "col-num":
+            return self.segment(node["i"])  # zero-copy view of the mapping
+        if kind == "col-str":
+            return self.segment(node["i"]).astype(object)
+        if kind == "col-pickle":
+            values = pickle.loads(self.raw(node["i"]))
+            array = np.empty(len(values), dtype=object)
+            array[:] = values
+            return array
+        if kind == "col-tagged":
+            return self._decode_tagged(
+                self.segment(node["tags"]), self.segment(node["values"])
+            )
+        raise ValueError(f"unknown container column type: {kind!r}")
+
+    @staticmethod
+    def _decode_tagged(tags: np.ndarray, payload: np.ndarray) -> np.ndarray:
+        out = np.empty(tags.shape[0], dtype=object)
+        # Identical (low, high) pairs share one Interval object, restoring the
+        # per-equivalence-class object sharing of the original release column
+        # (which the numeric-view memoization in Table exploits).
+        intervals: dict[tuple[float, float], Interval] = {}
+        tag_list = tags.tolist()
+        payload_list = payload.tolist()
+        for row, tag in enumerate(tag_list):
+            if tag == _TAG_NONE:
+                out[row] = None
+            elif tag == _TAG_INT:
+                out[row] = int(payload_list[row][0])
+            elif tag == _TAG_FLOAT:
+                out[row] = payload_list[row][0]
+            elif tag == _TAG_SUPPRESSED:
+                out[row] = SUPPRESSED
+            else:
+                bounds = (payload_list[row][0], payload_list[row][1])
+                interval = intervals.get(bounds)
+                if interval is None:
+                    interval = Interval(bounds[0], bounds[1])
+                    intervals[bounds] = interval
+                out[row] = interval
+        return out
+
+    def _decode_artifact(self, node: dict):
+        from repro.service.core import ReleaseArtifact
+
+        csv_index = node.get("csv")
+        csv_bytes = None
+        if csv_index is not None:
+            segment = self.segment(csv_index)
+            csv_bytes = segment.data if segment.size else memoryview(b"")
+        table_node = node["table"]
+        loader: Callable[[], Table] = lambda: self.decode_table(table_node)
+        return ReleaseArtifact(
+            dataset=node["dataset"],
+            algorithm=node["algorithm"],
+            k=int(node["k"]),
+            style=node["style"],
+            table=loader,
+            class_sizes=tuple(self.decode(node["class_sizes"])),
+            csv_bytes=csv_bytes,
+            lazy=True,
+            rows=int(table_node["rows"]),
+        )
+
+
+def decode_entry(path: str | Path) -> tuple[bool, tuple | None, object | None]:
+    """Load a container written by :func:`encode_entry`.
+
+    Returns ``(ok, key, value)``; any malformed, truncated or foreign file
+    yields ``(False, None, None)`` so the cache treats it as a miss.  The
+    value's array payloads are zero-copy views over one ``np.memmap`` of the
+    file; unlinking the file later (garbage collection, eviction) is safe —
+    the mapping keeps the data alive until the views are released.
+    """
+    path = Path(path)
+    try:
+        mapping = np.memmap(path, dtype=np.uint8, mode="r")
+        header = bytes(mapping[: len(_MAGIC)])
+        if header != _MAGIC:
+            return False, None, None
+        length_end = len(_MAGIC) + 4
+        manifest_length = int.from_bytes(bytes(mapping[len(_MAGIC):length_end]), "big")
+        manifest = json.loads(
+            bytes(mapping[length_end : length_end + manifest_length]).decode("utf-8")
+        )
+        if manifest.get("version") != 1:
+            return False, None, None
+        header_end = length_end + manifest_length
+        base = header_end + (-header_end) % _ALIGN
+        reader = _Reader(mapping, base, manifest["segments"])
+        key = pickle.loads(reader.raw(manifest["key"]))
+        value = reader.decode(manifest["root"])
+        return True, key, value
+    except (OSError, ValueError, KeyError, IndexError, TypeError, EOFError, pickle.UnpicklingError, json.JSONDecodeError):
+        return False, None, None

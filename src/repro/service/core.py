@@ -30,8 +30,9 @@ from __future__ import annotations
 
 import hashlib
 import math
+import os
 import threading
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
@@ -49,9 +50,10 @@ from repro.exceptions import ServiceError, UnknownDatasetError
 from repro.fusion.attack import AttackConfig, WebFusionAttack, harvest_auxiliary
 from repro.fusion.auxiliary import TableAuxiliarySource
 from repro.service.cache import TwoTierCache
+from repro.service.codec import SPILL_CONTAINER_SUFFIX, decode_entry, encode_entry
 from repro.service.jobs import JobManager
 
-__all__ = ["AnonymizationService", "ReleaseArtifact", "ALGORITHMS"]
+__all__ = ["AnonymizationService", "ReleaseArtifact", "ServiceConfig", "ALGORITHMS"]
 
 
 def _suppression_anonymizer() -> DataflyAnonymizer:
@@ -90,32 +92,107 @@ def _identifier_fingerprint(names: Sequence[str]) -> str:
     return hasher.hexdigest()
 
 
-@dataclass(frozen=True)
 class ReleaseArtifact:
     """A memoized release: the table plus its lazily cached CSV rendering.
 
-    The CSV text is **not** rendered when the release is computed — attack
-    and FRED requests that only need estimates never pay for it.  The first
-    access to :attr:`csv_text` renders once and caches the string on the
-    artifact (also carrying it through cache spills), so every subsequent
-    request serves the same bytes; :func:`~repro.dataset.io.render_csv` is
-    deterministic, which keeps concurrent first renders byte-identical too.
+    The CSV is **not** rendered when the release is computed — attack and
+    FRED requests that only need estimates never pay for it.  The first
+    access to :attr:`csv_bytes` renders and UTF-8 encodes once, caching the
+    encoded bytes on the artifact (handlers serve those bytes directly and
+    never re-encode); :func:`~repro.dataset.io.render_csv` is deterministic,
+    which keeps concurrent first renders byte-identical too.
+
+    Artifacts loaded back from a container spill
+    (:mod:`repro.service.codec`) are **lazy**: ``table`` is a zero-argument
+    loader that decodes the memory-mapped columns on first use (single-flight
+    — concurrent first touches run the loader exactly once), and
+    ``csv_bytes`` may arrive as a :class:`memoryview` straight over the
+    mapping — a worker that only serves the cached CSV, or summaries via
+    :meth:`info` (whose row count rides in the manifest), never rebuilds the
+    table at all.
     """
 
-    dataset: str
-    algorithm: str
-    k: int
-    style: str
-    table: Table
-    class_sizes: tuple[int, ...]
-    csv_cache: str | None = field(default=None, repr=False, compare=False)
+    __slots__ = (
+        "dataset",
+        "algorithm",
+        "k",
+        "style",
+        "class_sizes",
+        "_table",
+        "_csv",
+        "_rows",
+        "_table_lock",
+    )
+
+    def __init__(
+        self,
+        dataset: str,
+        algorithm: str,
+        k: int,
+        style: str,
+        table: Table | Callable[[], Table],
+        class_sizes: tuple[int, ...],
+        csv_bytes: bytes | memoryview | None = None,
+        lazy: bool = False,
+        rows: int | None = None,
+    ) -> None:
+        del lazy  # laziness is implied by passing a loader as ``table``
+        self.dataset = dataset
+        self.algorithm = algorithm
+        self.k = k
+        self.style = style
+        self.class_sizes = tuple(class_sizes)
+        self._table = table
+        self._csv = csv_bytes
+        if rows is None and isinstance(table, Table):
+            rows = table.num_rows
+        self._rows = rows
+        self._table_lock = threading.Lock()
+
+    @property
+    def table(self) -> Table:
+        """The release table (decoded from the spill mapping on first use)."""
+        materialized = self._table
+        if not isinstance(materialized, Table):
+            # Single-flight: decoding a spilled million-row table takes
+            # seconds, so a herd of request threads each running the loader
+            # concurrently would multiply that by the thread count (they all
+            # share the GIL).  One thread decodes, the rest wait on the lock.
+            with self._table_lock:
+                materialized = self._table
+                if not isinstance(materialized, Table):
+                    materialized = materialized()
+                    self._rows = materialized.num_rows
+                    self._table = materialized
+        return materialized
+
+    @property
+    def num_rows(self) -> int:
+        """Row count without forcing a decode (the spill manifest knows it)."""
+        if self._rows is not None:
+            return self._rows
+        return self.table.num_rows
+
+    def peek_table(self) -> Table:
+        """The table, forcing materialization (used by the spill codec)."""
+        return self.table
+
+    @property
+    def csv_bytes_cache(self) -> bytes | memoryview | None:
+        """The cached CSV encoding if one exists, without rendering."""
+        return self._csv
+
+    @property
+    def csv_bytes(self) -> bytes | memoryview:
+        """The UTF-8 encoded CSV rendering (rendered on first use, cached)."""
+        if self._csv is None:
+            self._csv = render_csv(self.table).encode("utf-8")
+        return self._csv
 
     @property
     def csv_text(self) -> str:
-        """The release rendered to CSV (rendered on first use, then cached)."""
-        if self.csv_cache is None:
-            object.__setattr__(self, "csv_cache", render_csv(self.table))
-        return self.csv_cache  # type: ignore[return-value]
+        """The release rendered to CSV (decoded from :attr:`csv_bytes`)."""
+        return bytes(self.csv_bytes).decode("utf-8")
 
     @property
     def minimum_class_size(self) -> int:
@@ -129,16 +206,67 @@ class ReleaseArtifact:
             "algorithm": self.algorithm,
             "k": self.k,
             "style": self.style,
-            "rows": self.table.num_rows,
+            "rows": self.num_rows,
             "classes": len(self.class_sizes),
             "minimum_class_size": self.minimum_class_size,
         }
+
+    def __repr__(self) -> str:
+        return (
+            f"ReleaseArtifact(dataset={self.dataset!r}, algorithm={self.algorithm!r}, "
+            f"k={self.k}, style={self.style!r}, classes={len(self.class_sizes)})"
+        )
+
+    def __getstate__(self) -> dict[str, object]:
+        # Pickle (the cache's fallback spill codec) materializes the table and
+        # detaches the CSV bytes from any memory mapping they may view.
+        return {
+            "dataset": self.dataset,
+            "algorithm": self.algorithm,
+            "k": self.k,
+            "style": self.style,
+            "class_sizes": self.class_sizes,
+            "table": self.table,
+            "csv": bytes(self._csv) if self._csv is not None else None,
+        }
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        self.dataset = state["dataset"]
+        self.algorithm = state["algorithm"]
+        self.k = state["k"]
+        self.style = state["style"]
+        self.class_sizes = state["class_sizes"]
+        self._table = state["table"]
+        self._csv = state["csv"]
+        self._rows = state["table"].num_rows
+        self._table_lock = threading.Lock()
 
 
 @dataclass(frozen=True)
 class _DatasetEntry:
     table: Table
     label: str
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Picklable construction recipe for :class:`AnonymizationService`.
+
+    The multi-process front (:class:`~repro.service.http.ServiceServer` with
+    ``workers > 1``) ships this to each spawned worker so every process
+    builds an identical service sharing one ``cache_dir`` — the spill
+    directory is the common cache tier and the dataset store, while the
+    in-memory single-flight tier stays per-process.
+    """
+
+    cache_capacity: int = 128
+    cache_dir: str | None = None
+    job_workers: int = 2
+    job_retention: int = 256
+    max_datasets: int | None = None
+    fred_parallelism: int = 1
+    max_spill_bytes: int | None = None
+    max_spill_entries: int | None = None
 
 
 class AnonymizationService:
@@ -164,6 +292,9 @@ class AnonymizationService:
         Default per-sweep level parallelism handed to
         :class:`~repro.core.fred.FREDConfig` for jobs that do not specify
         their own.
+    max_spill_bytes / max_spill_entries:
+        Spill-directory garbage-collection budget, passed through to
+        :class:`~repro.service.cache.TwoTierCache`.
     """
 
     def __init__(
@@ -174,6 +305,8 @@ class AnonymizationService:
         job_retention: int = 256,
         max_datasets: int | None = None,
         fred_parallelism: int = 1,
+        max_spill_bytes: int | None = None,
+        max_spill_entries: int | None = None,
     ) -> None:
         if fred_parallelism < 1:
             raise ServiceError(f"fred parallelism must be >= 1, got {fred_parallelism}")
@@ -182,10 +315,28 @@ class AnonymizationService:
         self._max_datasets = max_datasets
         self._datasets: dict[str, _DatasetEntry] = {}
         self._datasets_lock = threading.Lock()
-        self._cache = TwoTierCache(capacity=cache_capacity, spill_dir=cache_dir)
+        self._cache = TwoTierCache(
+            capacity=cache_capacity,
+            spill_dir=cache_dir,
+            max_spill_bytes=max_spill_bytes,
+            max_spill_entries=max_spill_entries,
+        )
+        # With a cache directory the service also keeps a shared dataset
+        # store: the in-memory registry is per-process, so sibling workers of
+        # a multi-process front find datasets registered elsewhere by mapping
+        # the stored container (zero-copy, shared pages).
+        self._dataset_store: Path | None = None
+        if cache_dir is not None:
+            self._dataset_store = Path(cache_dir) / "datasets"
+            self._dataset_store.mkdir(parents=True, exist_ok=True)
         self._jobs = JobManager(max_workers=job_workers, max_retained=job_retention)
         self._fred_parallelism = fred_parallelism
         self._closed = False
+
+    @classmethod
+    def from_config(cls, config: ServiceConfig) -> "AnonymizationService":
+        """Build a service from a picklable :class:`ServiceConfig` recipe."""
+        return cls(**asdict(config))
 
     # Dataset registry ----------------------------------------------------------
 
@@ -214,9 +365,42 @@ class AnonymizationService:
                 created = True
             else:
                 created = False
+        if created and self._dataset_store is not None:
+            self._store_dataset(fingerprint, table, label)
         info = self._dataset_info(fingerprint)
         info["created"] = created
         return info
+
+    def _store_dataset(self, fingerprint: str, table: Table, label: str) -> None:
+        """Publish a registered table to the shared on-disk dataset store."""
+        payload = encode_entry((fingerprint, label), table, force=True)
+        assert payload is not None  # force=True always yields a container
+        path = self._dataset_store / f"{fingerprint}{SPILL_CONTAINER_SUFFIX}"
+        temp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        try:
+            temp.write_bytes(payload)
+            os.replace(temp, path)
+        finally:
+            temp.unlink(missing_ok=True)
+
+    def _load_stored_dataset(self, fingerprint: str) -> _DatasetEntry | None:
+        """Adopt a dataset published to the store by a sibling worker.
+
+        The stored container is memory-mapped, so the adopted table's columns
+        are read-only views over pages shared with every other worker.
+        """
+        if self._dataset_store is None:
+            return None
+        path = self._dataset_store / f"{fingerprint}{SPILL_CONTAINER_SUFFIX}"
+        ok, key, value = decode_entry(path)
+        if not ok or not isinstance(value, Table):
+            return None
+        if not isinstance(key, tuple) or not key or key[0] != fingerprint:
+            return None
+        label = str(key[1]) if len(key) > 1 else ""
+        entry = _DatasetEntry(table=value, label=label)
+        with self._datasets_lock:
+            return self._datasets.setdefault(fingerprint, entry)
 
     def unregister(self, fingerprint: str) -> dict[str, object]:
         """Remove a registered dataset, releasing its registry slot and memory.
@@ -228,9 +412,15 @@ class AnonymizationService:
         """
         with self._datasets_lock:
             entry = self._datasets.pop(fingerprint, None)
-        if entry is None:
+        stored = False
+        if self._dataset_store is not None:
+            path = self._dataset_store / f"{fingerprint}{SPILL_CONTAINER_SUFFIX}"
+            stored = path.exists()
+            path.unlink(missing_ok=True)
+        if entry is None and not stored:
             raise UnknownDatasetError(f"unknown dataset: {fingerprint!r}")
-        return {"fingerprint": fingerprint, "label": entry.label, "removed": True}
+        label = entry.label if entry is not None else ""
+        return {"fingerprint": fingerprint, "label": label, "removed": True}
 
     def register_stream(
         self, lines: Iterable[str], fmt: str = "csv", label: str = ""
@@ -245,9 +435,16 @@ class AnonymizationService:
         return self.register(table, label=label)
 
     def dataset(self, fingerprint: str) -> Table:
-        """The registered table with this fingerprint."""
+        """The registered table with this fingerprint.
+
+        Falls through to the shared dataset store (when a cache directory is
+        configured) so a worker process finds datasets registered by a
+        sibling worker of the same multi-process front.
+        """
         with self._datasets_lock:
             entry = self._datasets.get(fingerprint)
+        if entry is None:
+            entry = self._load_stored_dataset(fingerprint)
         if entry is None:
             raise UnknownDatasetError(f"unknown dataset: {fingerprint!r}")
         return entry.table
@@ -301,6 +498,30 @@ class AnonymizationService:
         key = (fingerprint, "release", algorithm, k, style)
         return self._cache.get_or_compute(
             key, lambda: self._compute_release(table, fingerprint, k, algorithm, style)
+        )
+
+    def release_csv(
+        self,
+        fingerprint: str,
+        k: int,
+        algorithm: str = "mdav",
+        style: str = "interval",
+    ) -> bytes | memoryview:
+        """The UTF-8 CSV encoding of a release, cached as its own entry.
+
+        The bytes are memoized separately from the artifact so that a worker
+        process serving a release another worker already rendered maps the
+        spilled bytes (a :class:`memoryview` over the container file) and
+        writes them straight to the socket — no table rebuild, no re-render,
+        no re-encode.
+        """
+        self.dataset(fingerprint)  # raises UnknownDatasetError
+        key = (fingerprint, "release", algorithm, k, style, "csv")
+        return self._cache.get_or_compute(
+            key,
+            lambda: self.release(
+                fingerprint, k, algorithm=algorithm, style=style
+            ).csv_bytes,
         )
 
     def _compute_release(
@@ -553,6 +774,7 @@ class AnonymizationService:
             dataset_count = len(self._datasets)
         jobs = self._jobs.jobs()
         return {
+            "pid": os.getpid(),
             "datasets": dataset_count,
             "cache": self._cache.stats(),
             "jobs": {

@@ -31,6 +31,25 @@ string, so registration handles datasets much larger than any socket buffer.
 The body format is taken from the ``Content-Type`` header
 (``text/csv`` / ``application/jsonl``) or a ``?format=`` query parameter.
 
+Response streaming: ``/release`` bodies past ``stream_threshold_bytes`` go
+out with ``Transfer-Encoding: chunked`` in fixed-size segments, so peak
+memory per connection is bounded by one segment even for a multi-hundred-MB
+release — the cached CSV is typically a :class:`memoryview` over the spill
+mapping, so the bytes flow from the page cache to the socket without ever
+being materialized.  A client that disconnects mid-chunk is dropped cleanly.
+
+Multi-process front: ``ServiceServer(workers=N, config=...)`` binds the
+listening socket with ``SO_REUSEPORT`` and pre-forks ``N - 1`` worker
+processes (spawn start method) that each bind the *same* address — the
+kernel load-balances connections across the processes.  Workers share the
+spill directory (and the dataset store under it) as the common cache tier;
+the in-memory single-flight tier stays per-process, so each artifact is
+computed at most once per process and usually exactly once per cluster
+(spill writes are atomic renames, making the cross-process race a benign
+double-write).  Asynchronous FRED jobs remain per-process: a job must be
+polled on the worker that accepted it (clients can pin a worker via the
+``X-Repro-Worker`` response header, which every reply carries).
+
 Library errors map to JSON error responses: :class:`ServiceError` subclasses
 for unknown datasets/jobs become ``404``, every other
 :class:`~repro.exceptions.ReproError` becomes ``400``; unexpected exceptions
@@ -41,6 +60,9 @@ from __future__ import annotations
 
 import codecs
 import json
+import multiprocessing
+import os
+import socket
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Iterator
@@ -53,15 +75,26 @@ from repro.exceptions import (
     UnknownDatasetError,
     UnknownJobError,
 )
-from repro.service.core import AnonymizationService
+from repro.service.core import AnonymizationService, ServiceConfig
 
-__all__ = ["ServiceServer", "build_server", "DEFAULT_MAX_BODY_BYTES"]
+__all__ = [
+    "ServiceServer",
+    "build_server",
+    "DEFAULT_MAX_BODY_BYTES",
+    "DEFAULT_STREAM_THRESHOLD_BYTES",
+]
 
 #: Upload bodies are read from the socket in chunks of this many bytes.
 UPLOAD_CHUNK_BYTES = 64 * 1024
 
 #: Default request-body size limit; requests beyond it get a 413 reply.
 DEFAULT_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Response bodies at or above this size stream out chunked by default.
+DEFAULT_STREAM_THRESHOLD_BYTES = 1024 * 1024
+
+#: Segment size of a chunked response body.
+STREAM_CHUNK_BYTES = 256 * 1024
 
 
 def _iter_body_lines(rfile, content_length: int, chunk_bytes: int = UPLOAD_CHUNK_BYTES) -> Iterator[str]:
@@ -111,11 +144,12 @@ class _Handler(BaseHTTPRequestHandler):
         if self.server.verbose:  # pragma: no cover - logging side effect only
             super().log_message(format, *args)
 
-    def _send(self, status: int, payload: bytes, content_type: str) -> None:
+    def _send(self, status: int, payload: bytes | memoryview, content_type: str) -> None:
         try:
             self.send_response(status)
             self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(payload)))
+            self.send_header("X-Repro-Worker", str(os.getpid()))
             if self.close_connection:
                 # Error paths may leave unread body bytes on the socket; telling
                 # the client the connection is done prevents keep-alive desync.
@@ -126,6 +160,39 @@ class _Handler(BaseHTTPRequestHandler):
             # The client hung up mid-reply.  The response cannot be delivered
             # and the socket is dead, so just mark the connection closed; a
             # traceback here would spam the log for a routine disconnect.
+            self.close_connection = True
+
+    def _send_payload(
+        self, status: int, payload: bytes | memoryview, content_type: str
+    ) -> None:
+        """Send a body, streaming it chunked when it is large.
+
+        Bodies at or above the server's ``stream_threshold_bytes`` go out
+        with ``Transfer-Encoding: chunked`` in ``STREAM_CHUNK_BYTES``
+        segments (HTTP/1.1 clients only — a 1.0 client gets the buffered
+        reply), bounding peak per-connection memory: the payload is sliced
+        as views, never copied wholesale.
+        """
+        threshold = self.server.stream_threshold_bytes
+        if len(payload) < threshold or self.request_version != "HTTP/1.1":
+            self._send(status, payload, content_type)
+            return
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Transfer-Encoding", "chunked")
+            self.send_header("X-Repro-Worker", str(os.getpid()))
+            self.end_headers()
+            view = memoryview(payload)
+            for start in range(0, len(view), STREAM_CHUNK_BYTES):
+                segment = view[start : start + STREAM_CHUNK_BYTES]
+                self.wfile.write(f"{len(segment):X}\r\n".encode("ascii"))
+                self.wfile.write(segment)
+                self.wfile.write(b"\r\n")
+            self.wfile.write(b"0\r\n\r\n")
+        except (BrokenPipeError, ConnectionResetError, ConnectionError):
+            # Client disconnected mid-chunk: drop the connection quietly —
+            # same contract as the buffered path.
             self.close_connection = True
 
     def _send_json(self, status: int, document: object) -> None:
@@ -269,13 +336,25 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _post_release(self) -> None:
         body = self._read_json_body()
+        dataset = self._required(body, "dataset")
+        k = self._required_int(body, "k")
+        algorithm = body.get("algorithm", "mdav")
+        style = body.get("style", "interval")
+        fmt = body.get("format", "csv")
+        if fmt == "csv":
+            # The cached CSV bytes — possibly a memoryview over the spill
+            # mapping — go straight to the socket, chunked when large.
+            payload = self.server.service.release_csv(
+                dataset, k, algorithm=algorithm, style=style
+            )
+            self._send_payload(200, payload, "text/csv; charset=utf-8")
+            return
         artifact = self.server.service.release(
-            self._required(body, "dataset"),
-            self._required_int(body, "k"),
-            algorithm=body.get("algorithm", "mdav"),
-            style=body.get("style", "interval"),
+            dataset, k, algorithm=algorithm, style=style
         )
-        if body.get("format", "csv") == "json":
+        if fmt == "info":
+            self._send_json(200, artifact.info())
+        elif fmt == "json":
             document = artifact.info()
             document["rows_data"] = [
                 {name: _json_cell(value) for name, value in row.items()}
@@ -283,7 +362,9 @@ class _Handler(BaseHTTPRequestHandler):
             ]
             self._send_json(200, document)
         else:
-            self._send(200, artifact.csv_text.encode("utf-8"), "text/csv; charset=utf-8")
+            raise ServiceError(
+                f"unknown release format {fmt!r}; options: ['csv', 'info', 'json']"
+            )
 
     def _post_attack(self) -> None:
         body = self._read_json_body()
@@ -356,13 +437,46 @@ def _json_cell(value: object) -> object:
     return str(value)
 
 
+def _worker_main(
+    host: str,
+    port: int,
+    config: ServiceConfig,
+    verbose: bool,
+    max_body_bytes: int,
+    stream_threshold_bytes: int,
+) -> None:  # pragma: no cover - runs in a spawned worker process
+    """Entry point of one spawned worker: build a service, share the port."""
+    service = AnonymizationService.from_config(config)
+    server = ServiceServer(
+        (host, port),
+        service,
+        verbose=verbose,
+        max_body_bytes=max_body_bytes,
+        stream_threshold_bytes=stream_threshold_bytes,
+        reuse_port=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.close(wait=False)
+
+
 class ServiceServer(ThreadingHTTPServer):
-    """The threaded HTTP server bound to one :class:`AnonymizationService`.
+    """The HTTP server bound to one :class:`AnonymizationService`.
+
+    Single-process by default (one process, a thread per connection).  With
+    ``workers=N`` (requires a picklable ``config`` whose ``cache_dir`` is
+    set) the listening socket is bound with ``SO_REUSEPORT`` and ``N - 1``
+    sibling processes are spawned, each binding the same address and running
+    its own service over the shared spill directory.
 
     ``serve_in_background`` starts ``serve_forever`` on a daemon thread and
     returns, which is how tests, benchmarks and the CLI's smoke mode drive
     it; ``close`` performs the clean shutdown sequence (stop accepting,
-    drain the HTTP loop, then drain in-flight jobs).
+    terminate workers, drain the HTTP loop, then drain in-flight jobs).
     """
 
     daemon_threads = True
@@ -377,24 +491,103 @@ class ServiceServer(ThreadingHTTPServer):
         service: AnonymizationService,
         verbose: bool = False,
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        stream_threshold_bytes: int = DEFAULT_STREAM_THRESHOLD_BYTES,
+        workers: int = 1,
+        config: ServiceConfig | None = None,
+        reuse_port: bool = False,
     ) -> None:
         if max_body_bytes < 1:
             raise ServiceError(
                 f"max_body_bytes must be >= 1, got {max_body_bytes}"
             )
-        super().__init__(address, _Handler)
+        if stream_threshold_bytes < 1:
+            raise ServiceError(
+                f"stream_threshold_bytes must be >= 1, got {stream_threshold_bytes}"
+            )
+        if workers < 1:
+            raise ServiceError(f"workers must be >= 1, got {workers}")
+        if workers > 1:
+            if not hasattr(socket, "SO_REUSEPORT"):
+                raise ServiceError(
+                    "multi-process serving requires SO_REUSEPORT, which this "
+                    "platform does not provide"
+                )
+            if config is None or config.cache_dir is None:
+                raise ServiceError(
+                    "multi-process serving requires a ServiceConfig with a "
+                    "cache_dir — the spill directory is the workers' shared "
+                    "cache tier"
+                )
+        self._reuse_port = reuse_port or workers > 1
+        super().__init__(address, _Handler, bind_and_activate=False)
+        try:
+            self.server_bind()
+            self.server_activate()
+        except BaseException:
+            self.server_close()
+            raise
         self.service = service
         self.verbose = verbose
         self.max_body_bytes = max_body_bytes
+        self.stream_threshold_bytes = stream_threshold_bytes
+        self.workers = workers
+        self._config = config
         self._thread: threading.Thread | None = None
+        self._children: list[multiprocessing.process.BaseProcess] = []
+        self._children_started = False
+
+    def server_bind(self) -> None:
+        if self._reuse_port and hasattr(socket, "SO_REUSEPORT"):
+            self.socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        super().server_bind()
 
     @property
     def port(self) -> int:
         """The bound port (useful when constructed with port 0)."""
         return self.server_address[1]
 
+    def start_workers(self) -> None:
+        """Spawn the ``workers - 1`` sibling processes (idempotent).
+
+        The spawn start method (not fork) keeps the children independent of
+        this process's thread and lock state; each child builds its own
+        service from the picklable config and binds the already-bound
+        address via ``SO_REUSEPORT``.
+        """
+        if self._children_started or self.workers <= 1:
+            return
+        self._children_started = True
+        context = multiprocessing.get_context("spawn")
+        host = self.server_address[0]
+        for _ in range(self.workers - 1):
+            process = context.Process(
+                target=_worker_main,
+                args=(
+                    host,
+                    self.port,
+                    self._config,
+                    self.verbose,
+                    self.max_body_bytes,
+                    self.stream_threshold_bytes,
+                ),
+                daemon=True,
+            )
+            process.start()
+            self._children.append(process)
+
+    def worker_pids(self) -> list[int]:
+        """The pids serving this address (this process plus live children)."""
+        pids = [os.getpid()]
+        pids.extend(p.pid for p in self._children if p.pid is not None and p.is_alive())
+        return pids
+
+    def serve_forever(self, poll_interval: float = 0.5) -> None:
+        self.start_workers()
+        super().serve_forever(poll_interval=poll_interval)
+
     def serve_in_background(self) -> "ServiceServer":
         """Run ``serve_forever`` on a daemon thread and return ``self``."""
+        self.start_workers()
         thread = threading.Thread(
             target=self.serve_forever, name="repro-serve", daemon=True
         )
@@ -403,7 +596,16 @@ class ServiceServer(ThreadingHTTPServer):
         return self
 
     def close(self, wait_jobs: bool = True) -> None:
-        """Stop serving, join the loop thread, and drain service jobs."""
+        """Stop serving, stop workers, join the loop, drain service jobs."""
+        for process in self._children:
+            if process.is_alive():
+                process.terminate()
+        for process in self._children:
+            process.join(timeout=10)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.kill()
+                process.join(timeout=5)
+        self._children.clear()
         self.shutdown()
         if self._thread is not None:
             self._thread.join(timeout=10)
@@ -418,11 +620,28 @@ def build_server(
     service: AnonymizationService | None = None,
     verbose: bool = False,
     max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+    stream_threshold_bytes: int = DEFAULT_STREAM_THRESHOLD_BYTES,
+    workers: int = 1,
+    config: ServiceConfig | None = None,
 ) -> ServiceServer:
-    """Construct a :class:`ServiceServer` (and a default service if needed)."""
+    """Construct a :class:`ServiceServer` (and a default service if needed).
+
+    With ``workers > 1``, ``config`` describes the per-worker services; when
+    no explicit ``service`` is passed, this process's service is built from
+    the same config, so all workers are identical.
+    """
+    if service is None:
+        service = (
+            AnonymizationService.from_config(config)
+            if config is not None
+            else AnonymizationService()
+        )
     return ServiceServer(
         (host, port),
-        service or AnonymizationService(),
+        service,
         verbose=verbose,
         max_body_bytes=max_body_bytes,
+        stream_threshold_bytes=stream_threshold_bytes,
+        workers=workers,
+        config=config,
     )

@@ -422,4 +422,5 @@ class TestServiceGolden:
         first = self._serve_release(service_client, table, "mdav", 3)
         second = self._serve_release(service_client, table, "mdav", 3)
         assert first == second
-        assert service_client.server.service.stats()["cache"]["computations"] == 1
+        # Two entries: the release artifact and its cached CSV bytes.
+        assert service_client.server.service.stats()["cache"]["computations"] == 2

@@ -174,3 +174,119 @@ class TestSingleFlight:
         # raised themselves — in every case the error reached all three.
         assert outcomes == ["boom"] * 3
         assert cache.get(("k",)) is None
+
+
+class TestContainerSpill:
+    def _big_table(self):
+        from repro.data.census import CensusConfig, generate_census
+
+        return generate_census(CensusConfig(count=2000, seed=11)).private
+
+    def test_large_table_spills_as_container(self, tmp_path):
+        cache = TwoTierCache(capacity=4, spill_dir=tmp_path)
+        table = self._big_table()
+        cache.get_or_compute(("big",), lambda: table)
+        assert list(tmp_path.glob("*.npc")), "a large table must spill as a container"
+        assert not list(tmp_path.glob("*.pkl"))
+        assert cache.stats()["container_spills"] == 1
+
+    def test_container_spill_round_trips_across_restart(self, tmp_path):
+        import numpy as np
+
+        table = self._big_table()
+        first = TwoTierCache(capacity=4, spill_dir=tmp_path)
+        first.get_or_compute(("big",), lambda: table)
+        second = TwoTierCache(capacity=4, spill_dir=tmp_path)
+        loaded = second.get_or_compute(("big",), lambda: pytest.fail("must hit disk"))
+        assert loaded.num_rows == table.num_rows
+        for name in table.schema.names:
+            a, b = table.column_array(name), loaded.column_array(name)
+            if a.dtype == object:
+                assert list(a) == list(b)
+            else:
+                assert np.array_equal(a, b)
+        assert second.stats()["disk_hits"] == 1
+
+    def test_small_values_still_spill_as_pickle(self, tmp_path):
+        cache = TwoTierCache(capacity=4, spill_dir=tmp_path)
+        cache.get_or_compute(("small",), lambda: {"payload": 1})
+        assert list(tmp_path.glob("*.pkl"))
+        assert not list(tmp_path.glob("*.npc"))
+        assert cache.stats()["container_spills"] == 0
+
+    def test_respill_drops_the_stale_twin(self, tmp_path):
+        """A key whose value changes codec never leaves both generations."""
+        cache = TwoTierCache(capacity=1, spill_dir=tmp_path)
+        cache.get_or_compute(("k",), lambda: {"payload": 1})  # pickle
+        cache.get_or_compute(("evict",), lambda: 0)  # push "k" out of memory
+        # Corrupt the pickle so the next lookup recomputes with a big value.
+        for entry in tmp_path.glob("*.pkl"):
+            entry.write_bytes(b"not a pickle")
+        table = self._big_table()
+        cache.get_or_compute(("k",), lambda: table)  # respills as container
+        digests = {p.stem for p in tmp_path.iterdir() if p.suffix == ".npc"}
+        for digest in digests:
+            assert not (tmp_path / f"{digest}.pkl").exists()
+
+
+class TestSpillGarbageCollection:
+    def test_entry_budget_evicts_oldest(self, tmp_path):
+        import os
+        import time
+
+        cache = TwoTierCache(capacity=16, spill_dir=tmp_path, max_spill_entries=3)
+        for i in range(6):
+            cache.get_or_compute(("k", i), lambda i=i: {"payload": i})
+            # Distinct mtimes so LRU order is deterministic.
+            for child in tmp_path.glob("*.pkl"):
+                stamp = child.stat().st_mtime
+                os.utime(child, (stamp, stamp))
+            time.sleep(0.01)
+        files = list(tmp_path.glob("*.pkl"))
+        assert len(files) == 3
+        assert cache.stats()["spill_evictions"] == 3
+        # The survivors are the three most recently written entries.
+        fresh = TwoTierCache(capacity=16, spill_dir=tmp_path)
+        assert fresh.get(("k", 5)) == {"payload": 5}
+        assert fresh.get(("k", 0)) is None
+
+    def test_byte_budget_evicts_until_under(self, tmp_path):
+        blob = b"z" * 50_000
+        cache = TwoTierCache(capacity=16, spill_dir=tmp_path, max_spill_bytes=120_000)
+        for i in range(5):
+            cache.get_or_compute(("b", i), lambda: blob)
+        total = sum(p.stat().st_size for p in tmp_path.iterdir() if p.is_file())
+        assert total <= 120_000
+        assert cache.stats()["spill_evictions"] >= 2
+
+    def test_loads_refresh_lru_position(self, tmp_path):
+        import time
+
+        cache = TwoTierCache(capacity=1, spill_dir=tmp_path, max_spill_entries=2)
+        cache.get_or_compute(("a",), lambda: "va")
+        time.sleep(0.02)
+        cache.get_or_compute(("b",), lambda: "vb")  # evicts "a" from memory
+        time.sleep(0.02)
+        cache.get_or_compute(("a",), lambda: pytest.fail("on disk"))  # touches "a"
+        time.sleep(0.02)
+        cache.get_or_compute(("c",), lambda: "vc")  # GC must evict "b", not "a"
+        fresh = TwoTierCache(capacity=4, spill_dir=tmp_path)
+        assert fresh.get(("a",)) == "va"
+        assert fresh.get(("b",)) is None
+        assert fresh.get(("c",)) == "vc"
+
+    def test_dataset_store_subdirectory_is_never_collected(self, tmp_path):
+        store = tmp_path / "datasets"
+        store.mkdir()
+        keep = store / "fingerprint.npc"
+        keep.write_bytes(b"dataset container")
+        cache = TwoTierCache(capacity=4, spill_dir=tmp_path, max_spill_entries=1)
+        for i in range(4):
+            cache.get_or_compute(("k", i), lambda i=i: i)
+        assert keep.exists(), "GC must not descend into the dataset store"
+
+    def test_invalid_budgets_rejected(self, tmp_path):
+        with pytest.raises(ServiceError):
+            TwoTierCache(capacity=4, spill_dir=tmp_path, max_spill_bytes=0)
+        with pytest.raises(ServiceError):
+            TwoTierCache(capacity=4, spill_dir=tmp_path, max_spill_entries=0)

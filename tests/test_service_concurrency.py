@@ -121,7 +121,8 @@ class TestHTTPConcurrency:
         assert all(status == 200 for status, _ in responses)
         payloads = {payload for _, payload in responses}
         assert len(payloads) == 1, "parallel HTTP clients must receive identical bytes"
-        assert service_client.server.service.stats()["cache"]["computations"] == 1
+        # Two single-flight entries: the artifact plus its CSV byte cache.
+        assert service_client.server.service.stats()["cache"]["computations"] == 2
 
 
 class TestCleanShutdown:

@@ -257,7 +257,8 @@ class TestReleaseEndpoint:
         )
         assert first == second
         stats = service_client.server.service.stats()
-        assert stats["cache"]["computations"] == 1
+        # Two entries: the release artifact and its cached CSV bytes.
+        assert stats["cache"]["computations"] == 2
         assert stats["cache"]["memory_hits"] >= 1
 
     def test_json_reply(self, service_client, faculty_fingerprints):
@@ -339,3 +340,126 @@ class TestFredEndpoint:
         ):
             status, _, body = service_client.post_json("/fred", bad_body)
             assert status == 400, json.loads(body)
+
+
+class TestStreamedReleases:
+    @pytest.fixture()
+    def streaming_server(self, service, faculty_population):
+        """A server whose stream threshold is tiny, so any release chunks."""
+        from repro.service import build_server
+
+        service.register(faculty_population.private)
+        server = build_server(
+            port=0, service=service, stream_threshold_bytes=64
+        ).serve_in_background()
+        yield server
+        server.close()
+
+    @staticmethod
+    def _release_body(fingerprint: str) -> bytes:
+        return json.dumps({"dataset": fingerprint, "k": 3}).encode("utf-8")
+
+    def _post_chunked(self, port: int, body: bytes):
+        """POST /release over HTTP/1.1 -> (headers, reassembled body bytes)."""
+        import http.client
+
+        connection = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+        try:
+            connection.request(
+                "POST",
+                "/release",
+                body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            assert response.status == 200
+            return dict(response.headers), response.read()
+        finally:
+            connection.close()
+
+    def _post_buffered(self, port: int, body: bytes):
+        """POST /release as HTTP/1.0 over a raw socket -> (header text, body).
+
+        An HTTP/1.0 client cannot parse chunked framing, so the server must
+        fall back to a buffered Content-Length reply for the same resource.
+        """
+        import socket
+
+        head = (
+            "POST /release HTTP/1.0\r\n"
+            "Host: 127.0.0.1\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n\r\n"
+        ).encode("ascii")
+        with socket.create_connection(("127.0.0.1", port), timeout=60) as sock:
+            sock.sendall(head + body)
+            raw = b"".join(iter(lambda: sock.recv(65536), b""))
+        header_blob, _, payload = raw.partition(b"\r\n\r\n")
+        return header_blob.decode("latin-1"), payload
+
+    def test_chunked_and_buffered_bodies_are_identical(
+        self, streaming_server, faculty_population
+    ):
+        fingerprint = faculty_population.private.fingerprint
+        body = self._release_body(fingerprint)
+        headers, chunked = self._post_chunked(streaming_server.port, body)
+        assert headers.get("Transfer-Encoding") == "chunked"
+        assert "Content-Length" not in headers
+        assert "X-Repro-Worker" in headers
+
+        header_text, buffered = self._post_buffered(streaming_server.port, body)
+        assert "Transfer-Encoding" not in header_text
+        assert f"Content-Length: {len(buffered)}" in header_text
+        assert buffered == chunked
+        expected = streaming_server.service.release_csv(fingerprint, 3)
+        assert chunked == bytes(expected)
+
+    def test_small_bodies_stay_buffered(self, streaming_server):
+        import http.client
+
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", streaming_server.port, timeout=60
+        )
+        try:
+            connection.request("GET", "/healthz")
+            response = connection.getresponse()
+            assert response.status == 200
+            assert response.getheader("Transfer-Encoding") is None
+            assert response.getheader("Content-Length") is not None
+            assert json.loads(response.read()) == {"status": "ok"}
+        finally:
+            connection.close()
+
+    @pytest.mark.parametrize("disconnect", [BrokenPipeError, ConnectionResetError])
+    def test_client_disconnect_mid_chunk_is_dropped(self, disconnect):
+        """A client hanging up between chunks must not raise out of the send."""
+        from types import SimpleNamespace
+
+        from repro.service.http import STREAM_CHUNK_BYTES, _Handler
+
+        class _DyingSocketFile:
+            """Accepts a few writes, then fails like a closed socket."""
+
+            def __init__(self, writes_before_failure: int) -> None:
+                self.remaining = writes_before_failure
+                self.written = []
+
+            def write(self, data) -> None:
+                if self.remaining <= 0:
+                    raise disconnect("client went away")
+                self.remaining -= 1
+                self.written.append(bytes(data))
+
+        handler = _Handler.__new__(_Handler)
+        handler.server = SimpleNamespace(verbose=False, stream_threshold_bytes=16)
+        handler.request_version = "HTTP/1.1"
+        handler.requestline = "POST /release HTTP/1.1"
+        handler.command = "POST"
+        handler.close_connection = False
+        # Headers flush + first chunk (size line, segment, CRLF) succeed; the
+        # connection dies while the second chunk is going out.
+        handler.wfile = _DyingSocketFile(writes_before_failure=5)
+        payload = b"x" * (STREAM_CHUNK_BYTES * 2 + STREAM_CHUNK_BYTES // 2)
+        handler._send_payload(200, payload, "text/csv")  # must not raise
+        assert handler.close_connection is True
+        assert len(handler.wfile.written) == 5, "the failure happened mid-stream"

@@ -1,0 +1,138 @@
+"""Multi-process serving: SO_REUSEPORT workers sharing one spill directory.
+
+These tests spawn a real sibling worker process (spawn start method), so
+they exercise the full path the CLI's ``--workers`` flag uses: the kernel
+load-balances fresh connections across processes, the spill directory (and
+the dataset store beneath it) is the shared cache tier, and each process
+keeps its own in-memory single-flight tier.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+import urllib.request
+
+import pytest
+
+from repro.dataset.io import render_csv
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(socket, "SO_REUSEPORT"),
+    reason="multi-process serving requires SO_REUSEPORT",
+)
+
+#: Generous budget for reaching both workers: the spawned sibling needs a
+#: couple of seconds to import and bind, and SO_REUSEPORT balancing is
+#: probabilistic per connection.
+_DEADLINE_SECONDS = 120
+
+
+def _fetch(base: str, path: str, document: dict | None = None):
+    """One request on a fresh connection -> (headers, body bytes).
+
+    A fresh connection per call matters: SO_REUSEPORT balances at accept
+    time, so keep-alive would pin every request to one worker.
+    """
+    if document is None:
+        request = urllib.request.Request(base + path)
+    else:
+        request = urllib.request.Request(
+            base + path,
+            data=json.dumps(document).encode("utf-8"),
+            headers={"Content-Type": "application/json", "Connection": "close"},
+            method="POST",
+        )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return dict(response.headers), response.read()
+
+
+@pytest.fixture()
+def cluster(tmp_path, faculty_population):
+    """A two-worker server over a shared spill dir, dataset preregistered."""
+    from repro.service import AnonymizationService, ServiceConfig, build_server
+
+    config = ServiceConfig(
+        cache_capacity=32, cache_dir=str(tmp_path), job_workers=1
+    )
+    service = AnonymizationService.from_config(config)
+    server = build_server(
+        port=0, service=service, workers=2, config=config
+    ).serve_in_background()
+    base = f"http://127.0.0.1:{server.port}"
+    # Register through the parent; the sibling adopts the dataset from the
+    # shared store on its first miss.
+    upload = urllib.request.Request(
+        base + "/datasets",
+        data=render_csv(faculty_population.private).encode("utf-8"),
+        headers={"Content-Type": "text/csv"},
+        method="POST",
+    )
+    with urllib.request.urlopen(upload, timeout=60) as response:
+        assert response.status == 201
+    yield server, base, faculty_population.private.fingerprint
+    server.close()
+
+
+class TestTwoWorkerCluster:
+    def test_workers_share_the_spill_dir_and_serve_identical_bytes(self, cluster):
+        server, base, fingerprint = cluster
+        assert len(server.worker_pids()) == 2
+
+        bodies_by_pid: dict[str, bytes] = {}
+        deadline = time.monotonic() + _DEADLINE_SECONDS
+        while len(bodies_by_pid) < 2:
+            assert time.monotonic() < deadline, (
+                f"only reached workers {sorted(bodies_by_pid)} before the deadline"
+            )
+            headers, body = _fetch(base, "/release", {"dataset": fingerprint, "k": 3})
+            assert headers["Content-Type"].startswith("text/csv")
+            pid = headers["X-Repro-Worker"]
+            previous = bodies_by_pid.setdefault(pid, body)
+            assert previous == body, "a worker must be deterministic with itself"
+
+        distinct = set(bodies_by_pid.values())
+        assert len(distinct) == 1, "workers must serve byte-identical releases"
+        assert next(iter(distinct)).startswith(b"name,")
+
+        # Every process computed each cache entry at most once: a /release
+        # produces two entries (artifact + CSV bytes), and the second worker
+        # should adopt the first worker's spill instead of recomputing.
+        stats_by_pid: dict[int, dict] = {}
+        deadline = time.monotonic() + _DEADLINE_SECONDS
+        while len(stats_by_pid) < 2:
+            assert time.monotonic() < deadline, "never saw /stats from both workers"
+            _, body = _fetch(base, "/stats")
+            stats = json.loads(body)
+            stats_by_pid[stats["pid"]] = stats
+        total_computations = 0
+        for pid, stats in stats_by_pid.items():
+            computations = stats["cache"]["computations"]
+            assert computations <= 2, (
+                f"worker {pid} recomputed a cached artifact: {stats['cache']}"
+            )
+            total_computations += computations
+        assert total_computations >= 2, "someone must have computed the release"
+        # The sibling that did not compute served the release from the shared
+        # spill, so across the cluster the work happened (at most) once per
+        # process — and in this serial client pattern, once overall.
+        assert total_computations == 2
+
+    def test_requires_a_shared_cache_dir(self):
+        from repro.exceptions import ServiceError
+        from repro.service import AnonymizationService, ServiceConfig, build_server
+
+        service = AnonymizationService()
+        try:
+            with pytest.raises(ServiceError, match="cache_dir"):
+                build_server(port=0, service=service, workers=2)
+            with pytest.raises(ServiceError, match="cache_dir"):
+                build_server(
+                    port=0,
+                    service=service,
+                    workers=2,
+                    config=ServiceConfig(cache_dir=None),
+                )
+        finally:
+            service.close()
