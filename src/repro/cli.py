@@ -162,6 +162,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="release bodies at or above this size stream out chunked",
     )
     serve.add_argument(
+        "--max-keepalive", type=int, default=None,
+        help="requests served per keep-alive connection before the server "
+        "closes it, so long-lived clients reconnect and re-balance across "
+        "--workers processes (unset: connections are never capped)",
+    )
+    serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request to stderr"
     )
     return parser
@@ -341,6 +347,7 @@ def _command_serve(arguments: argparse.Namespace) -> int:
         stream_threshold_bytes=arguments.stream_threshold_kb * 1024,
         workers=arguments.workers,
         config=config,
+        max_keepalive_requests=arguments.max_keepalive,
     )
     print(f"serving on http://{arguments.host}:{server.port}", flush=True)
     if arguments.workers > 1:

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -35,6 +35,7 @@ from repro.linkage.index import LinkageIndex
 __all__ = [
     "AuxiliaryRecord",
     "AuxiliarySource",
+    "ColumnRowAttributes",
     "HarvestRecords",
     "TableAuxiliarySource",
     "auxiliary_table",
@@ -167,6 +168,56 @@ def _py_cell(value: object) -> object:
     return value.item() if isinstance(value, np.generic) else value
 
 
+class ColumnRowAttributes(Mapping):
+    """One storage row viewed as a record attribute mapping, fully lazily.
+
+    Columnar sources hand each :class:`AuxiliaryRecord` one of these instead
+    of materializing a per-row dict: a cell is read from the source's column
+    arrays only when something actually asks for it (``reader(name, row)``;
+    a ``None`` return means the cell is absent).  Since the attack's
+    assemble step reads whole :meth:`HarvestRecords.numeric_column` arrays
+    and never touches per-record attributes, the harvest path now builds
+    zero dicts.
+
+    The view compares equal to the dict it stands for (the :class:`Mapping`
+    mixin contract), and pickling materializes it to a plain dict — a
+    pickled record must not drag the source's column arrays along.
+    """
+
+    __slots__ = ("_reader", "_names", "_row")
+
+    def __init__(
+        self,
+        reader: "Callable[[str, int], object]",
+        names: tuple[str, ...],
+        row: int,
+    ) -> None:
+        self._reader = reader
+        self._names = names
+        self._row = row
+
+    def __getitem__(self, key: str) -> object:
+        if key in self._names:
+            value = self._reader(key, self._row)
+            if value is not None:
+                return value
+        raise KeyError(key)
+
+    def __iter__(self):
+        for name in self._names:
+            if self._reader(name, self._row) is not None:
+                yield name
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)
+
+    def __repr__(self) -> str:
+        return repr(dict(self))
+
+    def __reduce__(self):
+        return (dict, (dict(self),))
+
+
 def _gather_numeric_column(column: np.ndarray, rows: np.ndarray) -> np.ndarray:
     """Gather storage-array cells at ``rows`` into a float column.
 
@@ -277,16 +328,20 @@ class TableAuxiliarySource(AuxiliarySource):
             name: self.table.column_array(name) for name in self.attribute_names
         }
 
+    def _cell(self, attribute_name: str, row: int) -> object:
+        return _py_cell(self._columns[attribute_name][row])
+
     def _record_at(
         self, row: int, name: str, confidence: float = 1.0
     ) -> AuxiliaryRecord:
-        attributes = {}
-        for attribute_name, column in self._columns.items():
-            value = _py_cell(column[row])
-            if value is not None:
-                attributes[attribute_name] = value
+        # The record's attributes are a lazy view over the column buffers:
+        # cells are read on access, so building a harvest of N records
+        # allocates N views and zero dicts.
         return AuxiliaryRecord(
-            name=name, attributes=attributes, confidence=confidence, source="table"
+            name=name,
+            attributes=ColumnRowAttributes(self._cell, self.attribute_names, row),
+            confidence=confidence,
+            source="table",
         )
 
     def search(self, name: str) -> list[AuxiliaryRecord]:

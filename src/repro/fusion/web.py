@@ -49,6 +49,7 @@ from repro.exceptions import AuxiliarySourceError
 from repro.fusion.auxiliary import (
     AuxiliaryRecord,
     AuxiliarySource,
+    ColumnRowAttributes,
     HarvestRecords,
 )
 from repro.fusion.linkage import NameMatcher
@@ -251,21 +252,33 @@ class SimulatedWebCorpus(AuxiliarySource):
             )
         return self._matcher_cache
 
-    def _facts_of(self, index: int) -> dict[str, float | str]:
-        """The fact dict of one page, assembled from the fact columns."""
-        facts: dict[str, float | str] = {}
-        for name in self.attribute_names:
-            objects = self._fact_objects.get(name)
-            if objects is not None and objects[index] is not None:
-                facts[name] = objects[index]
-                continue
-            value = self._fact_numeric[name][index]
+    def _fact_cell(self, name: str, index: int) -> object:
+        """One page's value for fact ``name`` (``None`` = absent)."""
+        objects = self._fact_objects.get(name)
+        if objects is not None and objects[index] is not None:
+            return objects[index]
+        numeric = self._fact_numeric.get(name)
+        if numeric is not None:
+            value = numeric[index]
             if not np.isnan(value):
-                facts[name] = float(value)
-        for key, values in self._extras.items():
-            if values[index] is not None and key not in facts:
-                facts[key] = values[index]
-        return facts
+                return float(value)
+        values = self._extras.get(name)
+        return None if values is None else values[index]
+
+    @property
+    def _fact_names(self) -> tuple[str, ...]:
+        return tuple(self.attribute_names) + tuple(
+            key for key in self._extras if key not in self.attribute_names
+        )
+
+    def _facts_of(self, index: int) -> Mapping[str, float | str]:
+        """One page's facts as a lazy view over the fact columns.
+
+        Cells are read on access (:class:`ColumnRowAttributes`), so
+        harvesting or listing a million-page corpus builds no fact dicts
+        at all; pickling a record materializes its view to a plain dict.
+        """
+        return ColumnRowAttributes(self._fact_cell, self._fact_names, index)
 
     def _page(self, index: int) -> WebPage:
         return WebPage(

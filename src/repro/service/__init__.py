@@ -14,6 +14,9 @@ production-shaped service:
   zero-copy views over one shared memory mapping;
 * :mod:`repro.service.jobs` — the bounded worker pool running FRED sweeps
   as pollable jobs;
+* :mod:`repro.service.jobstore` — the spill-dir-backed shared job records
+  (plus owner heartbeats) that make every job pollable from every worker of
+  a multi-process front, even after its owner died;
 * :mod:`repro.service.http` — the stdlib JSON/HTTP front end
   (``repro serve`` on the command line), single-process threaded or
   multi-process via ``SO_REUSEPORT`` (``workers=N``), with chunked
@@ -29,6 +32,7 @@ from repro.service.core import (
 )
 from repro.service.http import ServiceServer, build_server
 from repro.service.jobs import Job, JobManager
+from repro.service.jobstore import JobStore
 
 __all__ = [
     "ALGORITHMS",
@@ -38,6 +42,7 @@ __all__ = [
     "TwoTierCache",
     "Job",
     "JobManager",
+    "JobStore",
     "ServiceServer",
     "build_server",
 ]

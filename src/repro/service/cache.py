@@ -301,7 +301,14 @@ class TwoTierCache:
             pass
 
     def _collect_spill(self) -> None:
-        """Evict least-recently-used spill files until the budget holds."""
+        """Evict least-recently-used spill files until the budget holds.
+
+        Only *top-level* ``.pkl``/``.npc`` cache files are LRU candidates:
+        subdirectories of the spill dir hold durable state that eviction must
+        never un-exist — ``datasets/`` (the dataset store) and ``jobs/`` (the
+        cross-worker job records, which have their own terminal-status
+        retention in :class:`~repro.service.jobstore.JobStore`).
+        """
         if self._spill_dir is None:
             return
         if self._max_spill_bytes is None and self._max_spill_entries is None:

@@ -52,6 +52,7 @@ from repro.fusion.auxiliary import TableAuxiliarySource
 from repro.service.cache import TwoTierCache
 from repro.service.codec import SPILL_CONTAINER_SUFFIX, decode_entry, encode_entry
 from repro.service.jobs import JobManager
+from repro.service.jobstore import JobStore
 
 __all__ = ["AnonymizationService", "ReleaseArtifact", "ServiceConfig", "ALGORITHMS"]
 
@@ -267,6 +268,8 @@ class ServiceConfig:
     fred_parallelism: int = 1
     max_spill_bytes: int | None = None
     max_spill_entries: int | None = None
+    job_heartbeat_seconds: float = 1.0
+    job_stale_after_seconds: float = 10.0
 
 
 class AnonymizationService:
@@ -295,6 +298,13 @@ class AnonymizationService:
     max_spill_bytes / max_spill_entries:
         Spill-directory garbage-collection budget, passed through to
         :class:`~repro.service.cache.TwoTierCache`.
+    job_heartbeat_seconds / job_stale_after_seconds:
+        Owner-liveness knobs of the shared job store (active only with a
+        ``cache_dir``): the owning worker heartbeats every
+        ``job_heartbeat_seconds``, and a poll that finds the owner silent for
+        more than ``job_stale_after_seconds`` reports its non-terminal jobs
+        as ``failed`` instead of letting clients poll a dead worker's job
+        forever.
     """
 
     def __init__(
@@ -307,6 +317,8 @@ class AnonymizationService:
         fred_parallelism: int = 1,
         max_spill_bytes: int | None = None,
         max_spill_entries: int | None = None,
+        job_heartbeat_seconds: float = 1.0,
+        job_stale_after_seconds: float = 10.0,
     ) -> None:
         if fred_parallelism < 1:
             raise ServiceError(f"fred parallelism must be >= 1, got {fred_parallelism}")
@@ -326,10 +338,22 @@ class AnonymizationService:
         # a multi-process front find datasets registered elsewhere by mapping
         # the stored container (zero-copy, shared pages).
         self._dataset_store: Path | None = None
+        job_store: JobStore | None = None
         if cache_dir is not None:
             self._dataset_store = Path(cache_dir) / "datasets"
             self._dataset_store.mkdir(parents=True, exist_ok=True)
-        self._jobs = JobManager(max_workers=job_workers, max_retained=job_retention)
+            # A spill directory also hosts the shared job store: every
+            # lifecycle transition of an async job is published under
+            # ``jobs/`` so sibling workers of a multi-process front can
+            # answer polls for jobs they did not accept.
+            job_store = JobStore(
+                Path(cache_dir) / "jobs",
+                heartbeat_seconds=job_heartbeat_seconds,
+                stale_after_seconds=job_stale_after_seconds,
+            )
+        self._jobs = JobManager(
+            max_workers=job_workers, max_retained=job_retention, store=job_store
+        )
         self._fred_parallelism = fred_parallelism
         self._closed = False
 
@@ -759,8 +783,25 @@ class AnonymizationService:
         return payload
 
     def job_status(self, job_id: str) -> dict[str, object]:
-        """Snapshot of one asynchronous job."""
+        """Snapshot of one asynchronous job.
+
+        Falls back to the shared job store (when a cache directory is
+        configured), so a worker of a multi-process front answers polls for
+        jobs accepted — and owned — by a sibling worker.
+        """
         return self._jobs.status(job_id)
+
+    def list_jobs(self) -> list[dict[str, object]]:
+        """Compact snapshots of every known job (local plus shared store).
+
+        Result payloads are omitted from store-only entries — listing is a
+        cheap overview; poll ``job_status`` for a specific job's result.
+        """
+        listing = []
+        for snapshot in self._jobs.jobs():
+            compact = {k: v for k, v in snapshot.items() if k != "result"}
+            listing.append(compact)
+        return listing
 
     def wait_for_job(self, job_id: str, timeout: float | None = None) -> dict[str, object]:
         """Block until a job finishes and return its snapshot (for tests/CLI)."""

@@ -21,6 +21,7 @@ DELETE   ``/datasets/<fp>``       unregister a dataset (frees its registry slot)
 POST     ``/release``             anonymized release (JSON body; CSV or JSON reply)
 POST     ``/attack``              fusion-attack estimates against a release
 POST     ``/fred``                launch a FRED sweep job (``202`` + job id)
+GET      ``/jobs``                list all known jobs (compact, no results)
 GET      ``/jobs/<id>``           poll a job
 =======  =======================  ==================================================
 
@@ -46,9 +47,17 @@ spill directory (and the dataset store under it) as the common cache tier;
 the in-memory single-flight tier stays per-process, so each artifact is
 computed at most once per process and usually exactly once per cluster
 (spill writes are atomic renames, making the cross-process race a benign
-double-write).  Asynchronous FRED jobs remain per-process: a job must be
-polled on the worker that accepted it (clients can pin a worker via the
-``X-Repro-Worker`` response header, which every reply carries).
+double-write).  Asynchronous FRED jobs are **cluster-visible**: every
+lifecycle transition is published to the shared job store under the spill
+directory (:mod:`repro.service.jobstore`), so ``GET /jobs/<id>`` — and the
+``GET /jobs`` listing — is answered correctly by *any* worker, regardless of
+which one accepted the submit; owner heartbeats turn a dead worker's
+in-flight jobs into ``failed`` instead of an eternal ``running``.  The
+``X-Repro-Worker: <pid>`` response header is kept for observability only —
+no routing decision depends on it.  Because ``SO_REUSEPORT`` balances per
+*connection*, a long keep-alive client rides one worker forever;
+``max_keepalive_requests`` (``serve --max-keepalive``) caps the requests per
+connection so such clients periodically reconnect and re-balance.
 
 Library errors map to JSON error responses: :class:`ServiceError` subclasses
 for unknown datasets/jobs become ``404``, every other
@@ -182,6 +191,10 @@ class _Handler(BaseHTTPRequestHandler):
             self.send_header("Content-Type", content_type)
             self.send_header("Transfer-Encoding", "chunked")
             self.send_header("X-Repro-Worker", str(os.getpid()))
+            if self.close_connection:
+                # The keep-alive request cap (or an earlier error) decided
+                # this connection ends after the reply; tell the client.
+                self.send_header("Connection", "close")
             self.end_headers()
             view = memoryview(payload)
             for start in range(0, len(view), STREAM_CHUNK_BYTES):
@@ -240,6 +253,16 @@ class _Handler(BaseHTTPRequestHandler):
         return document
 
     def _dispatch(self, handler) -> None:
+        cap = self.server.max_keepalive_requests
+        if cap is not None:
+            # SO_REUSEPORT balances per *connection*: a keep-alive client
+            # would ride the worker that accepted it forever.  Counting
+            # requests per connection and closing at the cap makes long-lived
+            # clients reconnect periodically and re-balance across workers.
+            served = getattr(self, "_requests_on_connection", 0) + 1
+            self._requests_on_connection = served
+            if served >= cap:
+                self.close_connection = True
         try:
             handler()
         except (UnknownDatasetError, UnknownJobError) as error:
@@ -297,6 +320,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(200, {"datasets": service.list_datasets()})
         elif len(parts) == 2 and parts[0] == "datasets":
             self._send_json(200, service.dataset_info(parts[1]))
+        elif parts == ["jobs"]:
+            self._send_json(200, {"jobs": service.list_jobs()})
         elif len(parts) == 2 and parts[0] == "jobs":
             self._send_json(200, service.job_status(parts[1]))
         else:
@@ -444,6 +469,7 @@ def _worker_main(
     verbose: bool,
     max_body_bytes: int,
     stream_threshold_bytes: int,
+    max_keepalive_requests: int | None,
 ) -> None:  # pragma: no cover - runs in a spawned worker process
     """Entry point of one spawned worker: build a service, share the port."""
     service = AnonymizationService.from_config(config)
@@ -453,6 +479,7 @@ def _worker_main(
         verbose=verbose,
         max_body_bytes=max_body_bytes,
         stream_threshold_bytes=stream_threshold_bytes,
+        max_keepalive_requests=max_keepalive_requests,
         reuse_port=True,
     )
     try:
@@ -495,6 +522,7 @@ class ServiceServer(ThreadingHTTPServer):
         workers: int = 1,
         config: ServiceConfig | None = None,
         reuse_port: bool = False,
+        max_keepalive_requests: int | None = None,
     ) -> None:
         if max_body_bytes < 1:
             raise ServiceError(
@@ -503,6 +531,10 @@ class ServiceServer(ThreadingHTTPServer):
         if stream_threshold_bytes < 1:
             raise ServiceError(
                 f"stream_threshold_bytes must be >= 1, got {stream_threshold_bytes}"
+            )
+        if max_keepalive_requests is not None and max_keepalive_requests < 1:
+            raise ServiceError(
+                f"max_keepalive_requests must be >= 1, got {max_keepalive_requests}"
             )
         if workers < 1:
             raise ServiceError(f"workers must be >= 1, got {workers}")
@@ -530,6 +562,7 @@ class ServiceServer(ThreadingHTTPServer):
         self.verbose = verbose
         self.max_body_bytes = max_body_bytes
         self.stream_threshold_bytes = stream_threshold_bytes
+        self.max_keepalive_requests = max_keepalive_requests
         self.workers = workers
         self._config = config
         self._thread: threading.Thread | None = None
@@ -569,6 +602,7 @@ class ServiceServer(ThreadingHTTPServer):
                     self.verbose,
                     self.max_body_bytes,
                     self.stream_threshold_bytes,
+                    self.max_keepalive_requests,
                 ),
                 daemon=True,
             )
@@ -623,6 +657,7 @@ def build_server(
     stream_threshold_bytes: int = DEFAULT_STREAM_THRESHOLD_BYTES,
     workers: int = 1,
     config: ServiceConfig | None = None,
+    max_keepalive_requests: int | None = None,
 ) -> ServiceServer:
     """Construct a :class:`ServiceServer` (and a default service if needed).
 
@@ -644,4 +679,5 @@ def build_server(
         stream_threshold_bytes=stream_threshold_bytes,
         workers=workers,
         config=config,
+        max_keepalive_requests=max_keepalive_requests,
     )

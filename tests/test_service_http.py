@@ -463,3 +463,65 @@ class TestStreamedReleases:
         handler._send_payload(200, payload, "text/csv")  # must not raise
         assert handler.close_connection is True
         assert len(handler.wfile.written) == 5, "the failure happened mid-stream"
+
+class TestKeepAliveCap:
+    """``max_keepalive_requests``: long-lived connections must re-balance."""
+
+    @pytest.fixture()
+    def capped_server(self):
+        from repro.service import AnonymizationService, build_server
+
+        service = AnonymizationService(cache_capacity=8)
+        server = build_server(
+            port=0, service=service, max_keepalive_requests=2
+        ).serve_in_background()
+        yield server
+        server.close()
+
+    def test_connection_closes_at_the_cap(self, capped_server):
+        import http.client
+
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", capped_server.port, timeout=30
+        )
+        try:
+            connection.request("GET", "/healthz")
+            first = connection.getresponse()
+            assert first.status == 200
+            assert first.getheader("Connection") != "close"
+            first.read()
+
+            connection.request("GET", "/healthz")
+            second = connection.getresponse()
+            assert second.status == 200
+            assert second.getheader("Connection") == "close"
+            second.read()
+        finally:
+            connection.close()
+
+    def test_each_fresh_connection_gets_a_fresh_budget(self, capped_server):
+        import http.client
+
+        for _ in range(3):
+            connection = http.client.HTTPConnection(
+                "127.0.0.1", capped_server.port, timeout=30
+            )
+            try:
+                connection.request("GET", "/healthz")
+                response = connection.getresponse()
+                assert response.status == 200
+                assert response.getheader("Connection") != "close"
+                response.read()
+            finally:
+                connection.close()
+
+    def test_cap_must_be_positive(self):
+        from repro.exceptions import ServiceError
+        from repro.service import AnonymizationService, build_server
+
+        service = AnonymizationService(cache_capacity=8)
+        try:
+            with pytest.raises(ServiceError, match="max_keepalive_requests"):
+                build_server(port=0, service=service, max_keepalive_requests=0)
+        finally:
+            service.close()

@@ -3,20 +3,25 @@
 These tests spawn a real sibling worker process (spawn start method), so
 they exercise the full path the CLI's ``--workers`` flag uses: the kernel
 load-balances fresh connections across processes, the spill directory (and
-the dataset store beneath it) is the shared cache tier, and each process
-keeps its own in-memory single-flight tier.
+the dataset store beneath it) is the shared cache tier, each process keeps
+its own in-memory single-flight tier, and the shared job store makes every
+FRED job pollable from every worker — including after its owner dies.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import os
+import signal
 import socket
 import time
+import urllib.error
 import urllib.request
 
 import pytest
 
-from repro.dataset.io import render_csv
+from repro.dataset.io import render_csv, render_jsonl
 
 pytestmark = pytest.mark.skipif(
     not hasattr(socket, "SO_REUSEPORT"),
@@ -48,36 +53,52 @@ def _fetch(base: str, path: str, document: dict | None = None):
         return dict(response.headers), response.read()
 
 
+def _upload(base: str, payload: bytes, content_type: str) -> str:
+    request = urllib.request.Request(
+        base + "/datasets",
+        data=payload,
+        headers={"Content-Type": content_type},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        assert response.status == 201
+        return json.loads(response.read())["fingerprint"]
+
+
 @pytest.fixture()
-def cluster(tmp_path, faculty_population):
-    """A two-worker server over a shared spill dir, dataset preregistered."""
+def cluster(tmp_path, faculty_population, faculty_auxiliary_table):
+    """A two-worker server over a shared spill dir, datasets preregistered.
+
+    Heartbeats are fast (stale after 3s) so the kill-the-owner test
+    converges quickly; the happy paths never wait on them.
+    """
     from repro.service import AnonymizationService, ServiceConfig, build_server
 
     config = ServiceConfig(
-        cache_capacity=32, cache_dir=str(tmp_path), job_workers=1
+        cache_capacity=32,
+        cache_dir=str(tmp_path),
+        job_workers=1,
+        job_heartbeat_seconds=0.5,
+        job_stale_after_seconds=3.0,
     )
     service = AnonymizationService.from_config(config)
     server = build_server(
         port=0, service=service, workers=2, config=config
     ).serve_in_background()
     base = f"http://127.0.0.1:{server.port}"
-    # Register through the parent; the sibling adopts the dataset from the
+    # Register through the parent; the sibling adopts the datasets from the
     # shared store on its first miss.
-    upload = urllib.request.Request(
-        base + "/datasets",
-        data=render_csv(faculty_population.private).encode("utf-8"),
-        headers={"Content-Type": "text/csv"},
-        method="POST",
+    private = _upload(base, render_csv(faculty_population.private).encode(), "text/csv")
+    auxiliary = _upload(
+        base, render_jsonl(faculty_auxiliary_table).encode(), "application/jsonl"
     )
-    with urllib.request.urlopen(upload, timeout=60) as response:
-        assert response.status == 201
-    yield server, base, faculty_population.private.fingerprint
+    yield server, base, private, auxiliary
     server.close()
 
 
 class TestTwoWorkerCluster:
     def test_workers_share_the_spill_dir_and_serve_identical_bytes(self, cluster):
-        server, base, fingerprint = cluster
+        server, base, fingerprint, _ = cluster
         assert len(server.worker_pids()) == 2
 
         bodies_by_pid: dict[str, bytes] = {}
@@ -118,6 +139,119 @@ class TestTwoWorkerCluster:
         # spill, so across the cluster the work happened (at most) once per
         # process — and in this serial client pattern, once overall.
         assert total_computations == 2
+
+    def test_fred_jobs_are_pollable_from_every_worker(self, cluster):
+        """The headline bug: submit on one connection, poll on fresh ones.
+
+        SO_REUSEPORT balances per connection, so the polls land on arbitrary
+        workers — before the shared job store, any poll reaching the
+        non-owning worker was a 404 even while the job was running.
+        """
+        server, base, private, auxiliary = cluster
+        headers, body = _fetch(
+            base,
+            "/fred",
+            {"dataset": private, "auxiliary": auxiliary, "kmin": 2, "kmax": 3},
+        )
+        ticket = json.loads(body)
+        job = ticket["job"]
+        owner_pid = headers["X-Repro-Worker"]
+        # Store-backed ids are qualified by the owning worker's pid.
+        assert job.startswith(f"job-{owner_pid}-")
+
+        snapshot = None
+        served_by: set[str] = set()
+        deadline = time.monotonic() + _DEADLINE_SECONDS
+        while True:
+            assert time.monotonic() < deadline, (
+                f"job {job} still {snapshot and snapshot['status']}; "
+                f"polls answered by {sorted(served_by)}"
+            )
+            try:
+                headers, body = _fetch(base, f"/jobs/{job}")
+            except urllib.error.HTTPError as error:
+                pytest.fail(
+                    f"poll of {job} got HTTP {error.code} from worker "
+                    f"{error.headers.get('X-Repro-Worker')} — every worker "
+                    "must see every job"
+                )
+            served_by.add(headers["X-Repro-Worker"])
+            snapshot = json.loads(body)
+            # Keep polling past completion until both workers answered at
+            # least once: done records stay readable, and a non-owner answer
+            # is exactly the cross-worker hit this test exists for.
+            if snapshot["status"] in ("done", "failed") and len(served_by) == 2:
+                break
+            time.sleep(0.05)
+
+        assert snapshot["status"] == "done", snapshot.get("error")
+        assert snapshot["result"]["optimal_level"] in (2, 3)
+        assert len(served_by) == 2
+
+        # The cluster-wide listing knows the job too, from any worker.
+        _, body = _fetch(base, "/jobs")
+        listed = {entry["job"] for entry in json.loads(body)["jobs"]}
+        assert job in listed
+
+    def test_killing_the_owner_mid_job_converges_to_failed(self, cluster):
+        """A dead worker's jobs must fail within the heartbeat timeout.
+
+        The job is pushed onto the *spawned* sibling (retrying submits until
+        one lands there), the sibling is SIGKILLed, and polls — now served
+        by the surviving worker — must converge to ``failed`` instead of
+        reporting ``running`` forever.
+        """
+        server, base, private, auxiliary = cluster
+        parent_pid = str(os.getpid())
+
+        job = None
+        deadline = time.monotonic() + _DEADLINE_SECONDS
+        attempt = 0
+        while job is None:
+            assert time.monotonic() < deadline, "never reached the sibling worker"
+            # A unique weight per attempt keeps the sweep uncacheable, so the
+            # sibling's job cannot be answered instantly from the shared spill.
+            attempt += 1
+            headers, body = _fetch(
+                base,
+                "/fred",
+                {
+                    "dataset": private,
+                    "auxiliary": auxiliary,
+                    "kmin": 2,
+                    "kmax": 3,
+                    "protection_weight": 0.5 + attempt / 1000.0,
+                },
+            )
+            if headers["X-Repro-Worker"] != parent_pid:
+                job = json.loads(body)["job"]
+                owner_pid = int(headers["X-Repro-Worker"])
+
+        os.kill(owner_pid, signal.SIGKILL)
+
+        snapshot = None
+        deadline = time.monotonic() + _DEADLINE_SECONDS
+        while True:
+            assert time.monotonic() < deadline, (
+                f"job {job} never converged to failed: {snapshot}"
+            )
+            try:
+                _, body = _fetch(base, f"/jobs/{job}")
+            except urllib.error.HTTPError as error:
+                pytest.fail(f"poll of {job} got HTTP {error.code}")
+            except (urllib.error.URLError, ConnectionError, http.client.HTTPException):
+                # A connection routed to the dying worker's socket (refused,
+                # reset mid-reply, or truncated); retry on a fresh one, which
+                # the survivor will accept.
+                time.sleep(0.1)
+                continue
+            snapshot = json.loads(body)
+            if snapshot["status"] in ("done", "failed", "cancelled"):
+                break
+            time.sleep(0.2)
+
+        assert snapshot["status"] == "failed"
+        assert "stopped heartbeating" in snapshot["error"]
 
     def test_requires_a_shared_cache_dir(self):
         from repro.exceptions import ServiceError
