@@ -27,16 +27,31 @@ import numpy as np
 import pytest
 
 from repro.experiments.figures import default_setup, run_sweep
+from repro.linkage.kernels import active_kernel_backend
+from repro.linkage.shm import shared_memory_available
 
 _GATE_RECORDS: list[dict] = []
 
 
 @pytest.fixture
 def bench_gate(request):
-    """Record one speedup gate's measurements for the BENCH_*.json summary."""
+    """Record one speedup gate's measurements for the BENCH_*.json summary.
+
+    Every record is stamped with the linkage engine's active kernel backend
+    and shared-memory availability, so a summary from a numba CI leg is
+    distinguishable from the pure-numpy one.
+    """
 
     def record(gate: str, **metrics) -> None:
-        _GATE_RECORDS.append({"gate": gate, "test": request.node.nodeid, **metrics})
+        _GATE_RECORDS.append(
+            {
+                "gate": gate,
+                "test": request.node.nodeid,
+                "kernel_backend": active_kernel_backend(),
+                "shared_memory": shared_memory_available(),
+                **metrics,
+            }
+        )
 
     return record
 

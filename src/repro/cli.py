@@ -52,6 +52,7 @@ from repro.exceptions import ReproError
 from repro.fusion.attack import AttackConfig, WebFusionAttack
 from repro.fusion.auxiliary import TableAuxiliarySource
 from repro.linkage import BLOCKING_SCHEMES
+from repro.linkage.kernels import set_kernel_backend
 
 __all__ = ["main", "build_parser"]
 
@@ -119,6 +120,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="number of anonymization levels to evaluate concurrently",
     )
+    fred.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default="thread",
+        help="pool kind for parallel sweeps (process pools benefit from "
+        "--shared-index)",
+    )
+    fred.add_argument(
+        "--shared-index",
+        choices=("auto", "always", "never"),
+        default="auto",
+        help="publish the linkage index to POSIX shared memory for "
+        "--executor process sweeps so workers attach zero-copy instead of "
+        "unpickling private replicas (auto: when shared memory is available)",
+    )
     _add_linkage_arguments(fred)
 
     serve = subparsers.add_parser(
@@ -168,6 +184,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers processes (unset: connections are never capped)",
     )
     serve.add_argument(
+        "--kernel-backend",
+        choices=("auto", "numpy", "numba"),
+        default="auto",
+        help="pairwise string-kernel implementation used by linkage-backed "
+        "attacks (auto: numba when importable, else numpy)",
+    )
+    serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request to stderr"
     )
     return parser
@@ -194,6 +217,13 @@ def _add_linkage_arguments(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=2,
         help="character q-gram width of the 'qgram' blocking scheme",
+    )
+    parser.add_argument(
+        "--kernel-backend",
+        choices=("auto", "numpy", "numba"),
+        default="auto",
+        help="pairwise string-kernel implementation (auto: numba when "
+        "importable, else numpy; results are bit-identical either way)",
     )
 
 
@@ -245,6 +275,7 @@ def _command_anonymize(arguments: argparse.Namespace) -> int:
 def _command_attack(arguments: argparse.Namespace) -> int:
     if arguments.sensitive_low >= arguments.sensitive_high:
         raise ReproError("--sensitive-low must be below --sensitive-high")
+    set_kernel_backend(arguments.kernel_backend)
     release = read_csv(arguments.release)
     source = _auxiliary_source(arguments.auxiliary, arguments)
     config = _attack_config(
@@ -280,6 +311,7 @@ def _command_attack(arguments: argparse.Namespace) -> int:
 
 
 def _command_fred(arguments: argparse.Namespace) -> int:
+    set_kernel_backend(arguments.kernel_backend)
     private = read_csv(arguments.input)
     source = _auxiliary_source(arguments.auxiliary, arguments)
     sensitive = private.sensitive_vector()
@@ -306,6 +338,8 @@ def _command_fred(arguments: argparse.Namespace) -> int:
             objective=WeightedObjective(arguments.protection_weight, arguments.utility_weight),
             stop_below_utility=arguments.utility_threshold is not None,
             parallelism=arguments.parallelism,
+            executor=arguments.executor,
+            shared_index=arguments.shared_index,
         ),
     )
     result = fred.run(private)
@@ -319,6 +353,7 @@ def _command_fred(arguments: argparse.Namespace) -> int:
 def _command_serve(arguments: argparse.Namespace) -> int:
     from repro.service import AnonymizationService, ServiceConfig, build_server
 
+    set_kernel_backend(arguments.kernel_backend)
     cache_dir = arguments.cache_dir
     if arguments.workers > 1 and cache_dir is None:
         # Multi-process mode needs a shared spill directory; provision one.

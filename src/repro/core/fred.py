@@ -64,9 +64,14 @@ from repro.anonymize.base import AnonymizationResult, BaseAnonymizer
 from repro.anonymize.mdav import MDAVAnonymizer
 from repro.core.objective import WeightedObjective
 from repro.dataset.table import Table
-from repro.exceptions import FREDConfigurationError, FREDInfeasibleError
+from repro.exceptions import (
+    AuxiliarySourceError,
+    FREDConfigurationError,
+    FREDInfeasibleError,
+)
 from repro.fusion.attack import AttackConfig, AttackResult, WebFusionAttack
 from repro.fusion.auxiliary import AuxiliarySource
+from repro.linkage.shm import SharedLinkageIndex, shared_memory_available
 from repro.metrics.dissimilarity import (
     dissimilarity_after_fusion,
     dissimilarity_before_fusion,
@@ -118,6 +123,15 @@ class FREDConfig:
         across every level (the harvest is level-independent; see the module
         docstring).  Disable to re-harvest at every level — only useful for
         adversary ablations whose attack factory varies the source per level.
+    shared_index:
+        How ``executor="process"`` sweeps ship the source's linkage index to
+        the pool.  ``"auto"`` (default) publishes it to one
+        ``multiprocessing.shared_memory`` segment that every worker maps
+        zero-copy (:mod:`repro.linkage.shm`) whenever shared memory is
+        available, falling back to pickled replicas otherwise; ``"always"``
+        insists on the shared segment (raising where shared memory is
+        unavailable); ``"never"`` keeps the historical pickled-replica path.
+        Ignored by thread sweeps (one process, one index already).
     """
 
     levels: tuple[int, ...] = tuple(range(2, 17))
@@ -129,6 +143,7 @@ class FREDConfig:
     parallelism: int = 1
     executor: str = "thread"
     reuse_harvest: bool = True
+    shared_index: str = "auto"
 
     def __post_init__(self) -> None:
         if not self.levels:
@@ -145,6 +160,28 @@ class FREDConfig:
             raise FREDConfigurationError(
                 f"unknown executor {self.executor!r}; options: ['process', 'thread']"
             )
+        if self.shared_index not in ("auto", "always", "never"):
+            raise FREDConfigurationError(
+                f"unknown shared_index mode {self.shared_index!r}; "
+                "options: ['always', 'auto', 'never']"
+            )
+
+    def resolved_shared_index(self) -> bool:
+        """Whether a process sweep will publish the index to shared memory.
+
+        ``"always"`` raises here when shared memory is unavailable — failing
+        at configuration-resolution time, not in the middle of the pool.
+        """
+        if self.shared_index == "never":
+            return False
+        if self.shared_index == "always":
+            if not shared_memory_available():
+                raise FREDConfigurationError(
+                    "shared_index='always' but multiprocessing.shared_memory "
+                    "is unavailable on this interpreter"
+                )
+            return True
+        return shared_memory_available()
 
 
 @dataclass
@@ -272,6 +309,28 @@ class _DefaultAttackFactory:
 
     def __call__(self) -> WebFusionAttack:
         return WebFusionAttack(self.source, self.attack_config)
+
+
+class _HarvestedSource(AuxiliarySource):
+    """Detached stand-in for an auxiliary source whose harvest is precomputed.
+
+    When the sweep already holds the level-independent harvest, process
+    workers never query the auxiliary channel — every ``evaluate_level``
+    call receives ``harvest=`` and :meth:`WebFusionAttack.run` skips the
+    source entirely.  Shipping this stub instead of the real corpus keeps
+    the per-worker pickle payload down to the private table and harvest
+    (no corpus text, no linkage index replica).  Any accidental query is a
+    loud error rather than a silently different adversary.
+    """
+
+    def __init__(self, attribute_names: Sequence[str]) -> None:
+        self.attribute_names = tuple(attribute_names)
+
+    def search(self, name: str):
+        raise AuxiliarySourceError(
+            "auxiliary source was detached for the process sweep (its harvest "
+            "is precomputed); per-name queries are not available in workers"
+        )
 
 
 # Per-process state for `executor="process"` sweeps: the shared sweep context
@@ -448,23 +507,52 @@ class FREDAnonymizer:
             # per-level submissions then carry only the level number.  The
             # naive `pool.submit(self.evaluate_level, private, k, harvest)`
             # re-pickled the whole harvest for every level.
-            payload = pickle.dumps(
-                (self, private, harvest), protocol=pickle.HIGHEST_PROTOCOL
-            )
-            pool = ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_sweep_worker_init,
-                initargs=(payload,),
-            )
-            with pool:
-                futures = [pool.submit(_sweep_worker_evaluate, k) for k in levels]
-                results: list[LevelOutcome | BaseException] = []
-                for future in futures:
-                    try:
-                        results.append(future.result())
-                    except Exception as error:
-                        results.append(error)
-                return results
+            ship = self
+            if harvest is not None and isinstance(
+                self._attack_factory, _DefaultAttackFactory
+            ):
+                # Workers only replay the precomputed harvest, so the real
+                # auxiliary corpus (text + linkage index) need not travel.
+                stub = _HarvestedSource(self.source.attribute_names)
+                ship = FREDAnonymizer.__new__(FREDAnonymizer)
+                ship.source = stub
+                ship.attack_config = self.attack_config
+                ship.config = self.config
+                ship._attack_factory = _DefaultAttackFactory(
+                    stub, self.attack_config
+                )
+            publication = None
+            if self.config.resolved_shared_index():
+                index = getattr(ship.source, "linkage_index", None)
+                if index is not None:
+                    # Publish the linkage index to a shared-memory segment:
+                    # the anonymizer then pickles as a ~1 KB manifest and
+                    # every worker attaches zero-copy instead of rebuilding
+                    # the flat buffers from a private replica.
+                    publication = SharedLinkageIndex.publish(index)
+            try:
+                payload = pickle.dumps(
+                    (ship, private, harvest), protocol=pickle.HIGHEST_PROTOCOL
+                )
+                pool = ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_sweep_worker_init,
+                    initargs=(payload,),
+                )
+                with pool:
+                    futures = [
+                        pool.submit(_sweep_worker_evaluate, k) for k in levels
+                    ]
+                    results: list[LevelOutcome | BaseException] = []
+                    for future in futures:
+                        try:
+                            results.append(future.result())
+                        except Exception as error:
+                            results.append(error)
+                    return results
+            finally:
+                if publication is not None:
+                    publication.close()
         pool = ThreadPoolExecutor(max_workers=workers)
         with pool:
             futures = [

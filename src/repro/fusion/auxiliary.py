@@ -125,6 +125,17 @@ class AuxiliarySource(abc.ABC):
     #: Names of the numeric attributes this source can provide.
     attribute_names: tuple[str, ...] = ()
 
+    @property
+    def linkage_index(self) -> "LinkageIndex | None":
+        """The source's record-linkage index, if it resolves names through one.
+
+        Linkage-backed sources override this (building their index if it is
+        lazy), which lets process-pool sweeps publish the index to shared
+        memory (:mod:`repro.linkage.shm`) instead of pickling a replica per
+        worker.  ``None`` means the source has nothing to share.
+        """
+        return None
+
     @abc.abstractmethod
     def search(self, name: str) -> list[AuxiliaryRecord]:
         """Records plausibly describing the person called ``name`` (best first)."""
@@ -322,11 +333,28 @@ class TableAuxiliarySource(AuxiliarySource):
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
-        self._names = [str(name) for name in self.table.column(self.name_column)]
-        self._by_name = {name: row for row, name in enumerate(self._names)}
+        # Only the exact-lookup mode ever reads the name list / dict, and they
+        # duplicate the table's name column — rebuild them on first use
+        # instead of eagerly, so a linkage-backed source unpickled into a
+        # process-pool worker (or attached over shared memory) never pays a
+        # per-worker allocation proportional to the corpus.
+        self._names = None
+        self._by_name = None
         self._columns = {
             name: self.table.column_array(name) for name in self.attribute_names
         }
+
+    def _name_lookup(self) -> dict[str, int]:
+        """The exact-mode name -> row dict, rebuilt lazily after unpickling."""
+        if self._by_name is None:
+            self._names = [str(name) for name in self.table.column(self.name_column)]
+            self._by_name = {name: row for row, name in enumerate(self._names)}
+        return self._by_name
+
+    @property
+    def linkage_index(self) -> LinkageIndex | None:
+        """The approximate-mode linkage index (``None`` in exact-lookup mode)."""
+        return self._index
 
     def _cell(self, attribute_name: str, row: int) -> object:
         return _py_cell(self._columns[attribute_name][row])
@@ -346,7 +374,7 @@ class TableAuxiliarySource(AuxiliarySource):
 
     def search(self, name: str) -> list[AuxiliaryRecord]:
         if self._index is None:
-            row = self._by_name.get(str(name))
+            row = self._name_lookup().get(str(name))
             if row is None:
                 return []
             return [self._record_at(row, str(name))]
@@ -363,8 +391,9 @@ class TableAuxiliarySource(AuxiliarySource):
         """Best record per name; approximate mode resolves the batch at once."""
         if self._index is None:
             results: list[AuxiliaryRecord | None] = []
+            by_name = self._name_lookup()
             for name in names:
-                row = self._by_name.get(str(name))
+                row = by_name.get(str(name))
                 results.append(None if row is None else self._record_at(row, str(name)))
             return results
         matches = self._index.match_many([str(name) for name in names])
@@ -383,8 +412,9 @@ class TableAuxiliarySource(AuxiliarySource):
         """Bulk harvest with numeric fact columns gathered straight from storage."""
         queried = [str(name) for name in names]
         if self._index is None:
+            by_name = self._name_lookup()
             rows = np.fromiter(
-                (self._by_name.get(name, -1) for name in queried),
+                (by_name.get(name, -1) for name in queried),
                 dtype=np.intp,
                 count=len(queried),
             )

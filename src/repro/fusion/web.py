@@ -252,6 +252,15 @@ class SimulatedWebCorpus(AuxiliarySource):
             )
         return self._matcher_cache
 
+    @property
+    def linkage_index(self):
+        """The corpus's linkage index (built if still lazy).
+
+        Overrides :attr:`AuxiliarySource.linkage_index` so process-pool FRED
+        sweeps can publish the index to shared memory.
+        """
+        return self._matcher.index
+
     def _fact_cell(self, name: str, index: int) -> object:
         """One page's value for fact ``name`` (``None`` = absent)."""
         objects = self._fact_objects.get(name)

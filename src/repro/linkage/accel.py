@@ -1,0 +1,261 @@
+"""Optional numba backend for the pairwise linkage kernels.
+
+The NumPy kernels in :mod:`repro.linkage.kernels` vectorize one DP step per
+query character across every (query, candidate) pair — great for wide
+batches, but each step still materializes ``(n, width)`` temporaries.  This
+module compiles the same three primitives as per-pair scalar loops with
+``numba.njit``: no temporaries, one cache-friendly pass per pair, and
+``nogil`` so thread pools scale.
+
+Bit-identity is a hard requirement, not an aspiration: the scalar loops
+perform the *same float operations in the same order* as the NumPy
+expressions (e.g. Jaro is ``((a + b) + c) / 3.0`` with ``int/int`` true
+division, exactly as the elementwise NumPy expression evaluates), and
+:func:`build_numba_primitives` verifies every primitive against the NumPy
+reference on a fixed probe corpus before the backend is accepted.  Any
+import, compile or equivalence failure raises
+:class:`~repro.linkage.kernels.KernelBackendUnavailable`, and the registry
+falls back to NumPy — numba is an accelerator, never a dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["build_numba_primitives", "numba_available"]
+
+_PRIMITIVES: dict[str, Callable] | None = None
+
+
+def numba_available() -> bool:
+    """Whether the numba backend imports, compiles and passes the self-check."""
+    try:
+        build_numba_primitives()
+        return True
+    except Exception:
+        return False
+
+
+def _compile(numba):
+    njit = numba.njit(cache=True, nogil=True)
+
+    @njit
+    def _levenshtein_pairs(queries, codes, lengths, out):
+        n_rows = codes.shape[0]
+        m = queries.shape[1]
+        width = codes.shape[1]
+        previous = np.empty(width + 1, dtype=np.int64)
+        current = np.empty(width + 1, dtype=np.int64)
+        for r in range(n_rows):
+            length = lengths[r]
+            for j in range(length + 1):
+                previous[j] = j
+            for i in range(m):
+                char = queries[r, i]
+                current[0] = i + 1
+                for j in range(1, length + 1):
+                    cost = previous[j - 1]
+                    if codes[r, j - 1] != char:
+                        cost += 1
+                    deletion = previous[j] + 1
+                    insertion = current[j - 1] + 1
+                    if deletion < cost:
+                        cost = deletion
+                    if insertion < cost:
+                        cost = insertion
+                    current[j] = cost
+                for j in range(length + 1):
+                    previous[j] = current[j]
+            out[r] = previous[length]
+
+    @njit
+    def _jaro_pairs(queries, codes, lengths, out):
+        n_rows = codes.shape[0]
+        m = queries.shape[1]
+        width = codes.shape[1]
+        right_matched = np.empty(width, dtype=np.bool_)
+        left_matched = np.empty(m, dtype=np.bool_)
+        left_chars = np.empty(m, dtype=np.int32)
+        right_chars = np.empty(width, dtype=np.int32)
+        for r in range(n_rows):
+            length = lengths[r]
+            if m == 0:
+                out[r] = 1.0 if length == 0 else 0.0
+                continue
+            longest = m if m > length else length
+            window = longest // 2 - 1
+            if window < 0:
+                window = 0
+            for j in range(length):
+                right_matched[j] = False
+            matches = 0
+            for i in range(m):
+                left_matched[i] = False
+                start = i - window
+                if start < 0:
+                    start = 0
+                end = i + window + 1
+                if end > length:
+                    end = length
+                char = queries[r, i]
+                for j in range(start, end):
+                    if not right_matched[j] and codes[r, j] == char:
+                        right_matched[j] = True
+                        left_matched[i] = True
+                        matches += 1
+                        break
+            if matches == 0:
+                out[r] = 0.0
+                continue
+            k = 0
+            for i in range(m):
+                if left_matched[i]:
+                    left_chars[k] = queries[r, i]
+                    k += 1
+            k = 0
+            for j in range(length):
+                if right_matched[j]:
+                    right_chars[k] = codes[r, j]
+                    k += 1
+            mismatched = 0
+            for k in range(matches):
+                if left_chars[k] != right_chars[k]:
+                    mismatched += 1
+            transpositions = mismatched // 2
+            denominator = length if length > 0 else 1
+            out[r] = (
+                matches / m
+                + matches / denominator
+                + (matches - transpositions) / matches
+            ) / 3.0
+
+    @njit
+    def _jaccard_pairs(
+        query_token_matrix, query_token_counts, token_matrix, token_counts, out
+    ):
+        n_rows = token_matrix.shape[0]
+        corpus_width = token_matrix.shape[1]
+        query_width = query_token_matrix.shape[1]
+        for r in range(n_rows):
+            intersection = 0
+            for j in range(corpus_width):
+                token = token_matrix[r, j]
+                for q in range(query_width):
+                    if query_token_matrix[r, q] == token:
+                        intersection += 1
+                        break
+            union = query_token_counts[r] + token_counts[r] - intersection
+            out[r] = intersection / union if union > 0 else 1.0
+
+    def levenshtein_distance_pairs(queries, codes, lengths):
+        queries = np.ascontiguousarray(queries, dtype=np.int32)
+        codes = np.ascontiguousarray(codes, dtype=np.int32)
+        out = np.empty(codes.shape[0], dtype=np.int64)
+        _levenshtein_pairs(queries, codes, lengths.astype(np.int64), out)
+        return out
+
+    def jaro_similarity_pairs(queries, codes, lengths):
+        queries = np.ascontiguousarray(queries, dtype=np.int32)
+        codes = np.ascontiguousarray(codes, dtype=np.int32)
+        out = np.empty(codes.shape[0], dtype=np.float64)
+        _jaro_pairs(queries, codes, lengths.astype(np.int64), out)
+        return out
+
+    def token_jaccard_pairs(
+        query_token_matrix, query_token_counts, token_matrix, token_counts
+    ):
+        query_token_matrix = np.ascontiguousarray(
+            query_token_matrix, dtype=np.int64
+        )
+        token_matrix = np.ascontiguousarray(token_matrix, dtype=np.int64)
+        out = np.empty(token_matrix.shape[0], dtype=np.float64)
+        _jaccard_pairs(
+            query_token_matrix,
+            query_token_counts.astype(np.int64),
+            token_matrix,
+            token_counts.astype(np.int64),
+            out,
+        )
+        return out
+
+    return {
+        "levenshtein_distance_pairs": levenshtein_distance_pairs,
+        "jaro_similarity_pairs": jaro_similarity_pairs,
+        "token_jaccard_pairs": token_jaccard_pairs,
+    }
+
+
+def _self_check(primitives: dict[str, Callable]) -> None:
+    """Probe every primitive against the NumPy reference, bit-for-bit.
+
+    The probe corpus exercises the hazardous cases: empty strings, non-ASCII
+    code points, candidates shorter/longer than the query, transposition-heavy
+    pairs, and unknown query tokens (padded ids).  Exact array equality is
+    required — a backend that is merely "close" is a broken backend.
+    """
+    from repro.linkage import kernels as k
+
+    strings = ["maria lopez", "marai lpoez", "", "møller", "xu", "annalise k"]
+    codes, lengths = k.encode_strings(strings)
+    queries = np.vstack(
+        [
+            np.resize(k.encode_query(text or "q"), codes.shape[1])
+            for text in ["maria lopez", "moller", "a", "møllér", "ux", "annalise"]
+        ]
+    ).astype(np.int32)
+    queries = queries[:, : codes.shape[1]]
+    reference = k._levenshtein_distance_pairs_numpy(queries, codes, lengths)
+    candidate = primitives["levenshtein_distance_pairs"](queries, codes, lengths)
+    if not np.array_equal(reference, candidate):
+        raise AssertionError("numba levenshtein deviates from the NumPy reference")
+    reference = k._jaro_similarity_pairs_numpy(queries, codes, lengths)
+    candidate = primitives["jaro_similarity_pairs"](queries, codes, lengths)
+    if not np.array_equal(reference, candidate):
+        raise AssertionError("numba jaro deviates from the NumPy reference")
+    token_matrix = np.array(
+        [[0, 1, k.PAD], [1, 2, 3], [k.PAD, k.PAD, k.PAD], [4, k.PAD, k.PAD]],
+        dtype=np.int64,
+    )
+    token_counts = np.array([2, 3, 0, 1], dtype=np.int64)
+    query_tokens = np.array(
+        [[0, k.QUERY_PAD], [2, 3], [k.QUERY_PAD, k.QUERY_PAD], [4, 0]],
+        dtype=np.int64,
+    )
+    query_counts = np.array([2, 2, 1, 2], dtype=np.int64)
+    reference = k._token_jaccard_pairs_numpy(
+        query_tokens, query_counts, token_matrix, token_counts
+    )
+    candidate = primitives["token_jaccard_pairs"](
+        query_tokens, query_counts, token_matrix, token_counts
+    )
+    if not np.array_equal(reference, candidate):
+        raise AssertionError("numba jaccard deviates from the NumPy reference")
+
+
+def build_numba_primitives() -> dict[str, Callable]:
+    """Import numba, compile the three primitives, and verify them.
+
+    Memoized: the compile + self-check runs once per process.  Raises
+    :class:`~repro.linkage.kernels.KernelBackendUnavailable` when numba is
+    missing or the compiled kernels fail the bit-identity probe.
+    """
+    global _PRIMITIVES
+    if _PRIMITIVES is not None:
+        return _PRIMITIVES
+    from repro.linkage.kernels import KernelBackendUnavailable
+
+    try:
+        import numba
+    except Exception as error:  # pragma: no cover - depends on environment
+        raise KernelBackendUnavailable(f"numba is not importable: {error}") from error
+    try:
+        primitives = _compile(numba)
+        _self_check(primitives)
+    except Exception as error:  # pragma: no cover - depends on environment
+        raise KernelBackendUnavailable(
+            f"numba kernels failed to compile or verify: {error}"
+        ) from error
+    _PRIMITIVES = primitives
+    return primitives

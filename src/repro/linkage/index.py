@@ -43,7 +43,7 @@ NumPy buffers:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -171,7 +171,7 @@ class LinkageIndex:
         threshold: float,
         prefix_scale: float,
         row_offset: int,
-        names_joined: str,
+        names_joined: "str | Callable[[], str]",
         name_offsets: np.ndarray,
         flat_codes: np.ndarray,
         lengths: np.ndarray,
@@ -181,13 +181,19 @@ class LinkageIndex:
         post_rows: np.ndarray,
         post_offsets: np.ndarray,
         blocking: BlockingIndex,
+        codes: np.ndarray | None = None,
+        token_matrix: np.ndarray | None = None,
     ) -> None:
         """Adopt the flat buffers and rebuild the derived padded matrices.
 
         The buffers are the index's canonical state (what pickling ships and
         :meth:`shard` slices); everything else — padded code/token matrices,
         the vocabulary dict, the perfect-match table, pruning counts, the
-        materialized name list — is derived, vectorized or lazy.
+        materialized name list — is derived, vectorized or lazy.  A
+        shared-memory attach (:mod:`repro.linkage.shm`) passes the padded
+        ``codes`` / ``token_matrix`` as segment views so no worker re-derives
+        them, and ``names_joined`` may be a zero-argument callable decoding
+        the joined corpus text on first use.
         """
         self.threshold = threshold
         self.prefix_scale = prefix_scale
@@ -198,12 +204,18 @@ class LinkageIndex:
         self._name_offsets = name_offsets
         self._flat_codes = flat_codes
         self._lengths = lengths
-        self._codes = pad_ragged(flat_codes, lengths, PAD, np.int32)
+        self._codes = (
+            pad_ragged(flat_codes, lengths, PAD, np.int32) if codes is None else codes
+        )
         self._vocab = vocab
         self._vocabulary = {token: i for i, token in enumerate(vocab)}
         self._token_ids = token_ids
         self._token_counts = token_counts
-        self._token_matrix = pad_ragged(token_ids, token_counts, PAD, np.int64)
+        self._token_matrix = (
+            pad_ragged(token_ids, token_counts, PAD, np.int64)
+            if token_matrix is None
+            else token_matrix
+        )
         self._token_post_rows = post_rows
         self._token_post_offsets = post_offsets
         self._blocking = blocking
@@ -228,9 +240,22 @@ class LinkageIndex:
         """The blocking index (scheme, keys, candidate sets)."""
         return self._blocking
 
+    def _joined_names(self) -> str:
+        """The concatenated corpus names, decoding a lazy blob on first use.
+
+        A shared-memory attach stores the joined text as UTF-8 bytes in the
+        segment and hands ``_names_joined`` as a decode callable — workers
+        that never report a candidate name never pay the private-memory cost
+        of the decoded string.
+        """
+        joined = self._names_joined
+        if not isinstance(joined, str):
+            joined = self._names_joined = joined()
+        return joined
+
     def _materialized_names(self) -> list[str]:
         if self._names_list is None:
-            joined, offsets = self._names_joined, self._name_offsets
+            joined, offsets = self._joined_names(), self._name_offsets
             self._names_list = [
                 joined[int(offsets[i]) : int(offsets[i + 1])]
                 for i in range(offsets.shape[0] - 1)
@@ -241,7 +266,7 @@ class LinkageIndex:
         if self._names_list is not None:
             return self._names_list[row]
         offsets = self._name_offsets
-        return self._names_joined[int(offsets[row]) : int(offsets[row + 1])]
+        return self._joined_names()[int(offsets[row]) : int(offsets[row + 1])]
 
     # Lazy derived state -------------------------------------------------------------
 
@@ -662,13 +687,22 @@ class LinkageIndex:
         by :meth:`__setstate__`, so pickling an index (process-pool sweeps,
         cache spill) costs one contiguous copy per buffer instead of a deep
         object graph.
+
+        While the index is published to shared memory
+        (:meth:`repro.linkage.shm.SharedLinkageIndex.publish`), pickling
+        ships only the segment manifest — a version-2 state a few hundred
+        bytes long — and :meth:`__setstate__` attaches zero-copy views over
+        the one shared segment instead of rebuilding buffers per process.
         """
+        publication = getattr(self, "_shm_publication", None)
+        if publication is not None and publication.active:
+            return {"version": 2, "shm": publication.manifest}
         return {
             "version": 1,
             "threshold": self.threshold,
             "prefix_scale": self.prefix_scale,
             "row_offset": self.row_offset,
-            "names_joined": self._names_joined,
+            "names_joined": self._joined_names(),
             "name_offsets": self._name_offsets,
             "flat_codes": np.ascontiguousarray(self._flat_codes),
             "lengths": self._lengths,
@@ -681,6 +715,11 @@ class LinkageIndex:
         }
 
     def __setstate__(self, state: dict) -> None:
+        if state.get("version") == 2:
+            from repro.linkage.shm import attach_into
+
+            attach_into(self, state["shm"])
+            return
         vocab = tuple(state["vocab"].split(" ")) if state["vocab"] else ()
         self._attach_buffers(
             threshold=state["threshold"],
@@ -743,7 +782,7 @@ class LinkageIndex:
             threshold=self.threshold,
             prefix_scale=self.prefix_scale,
             row_offset=self.row_offset + start,
-            names_joined=self._names_joined[
+            names_joined=self._joined_names()[
                 int(name_offsets[start]) : int(name_offsets[stop])
             ],
             name_offsets=name_offsets[start : stop + 1] - name_offsets[start],

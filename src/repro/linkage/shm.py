@@ -1,0 +1,362 @@
+"""Zero-copy shared-memory backing for :class:`~repro.linkage.LinkageIndex`.
+
+A process-pool FRED sweep historically shipped the linkage index to every
+worker as a pickled replica: N workers, N index-sized allocations.  This
+module publishes the index's flat buffers — character codes, padded
+code/token matrices, token postings, blocking postings, the joined corpus
+text — into **one** ``multiprocessing.shared_memory`` segment, and lets any
+process reconstruct a fully functional index as read-only array views over
+that segment: N workers, one index-sized allocation total.
+
+Ownership is explicit:
+
+* :meth:`SharedLinkageIndex.publish` copies the buffers into a fresh segment
+  and returns the owning handle.  While the publication is open, *pickling
+  the source index ships only the segment manifest* (a few hundred bytes), so
+  existing process-pool plumbing — ``pickle.dumps((anonymizer, table,
+  harvest))`` — becomes zero-copy with no call-site changes beyond opening
+  the publication.
+* :func:`attach` (or unpickling a manifest-bearing state) opens the segment
+  and builds an index over segment views.  Attachers never unlink; the
+  attach-side ``resource_tracker`` registration is explicitly undone so a
+  worker exiting can neither destroy the segment under its siblings nor spam
+  "leaked shared_memory" warnings.
+* The owner unlinks the segment in :meth:`SharedLinkageIndex.close`, via a
+  ``weakref.finalize`` at garbage collection, or at interpreter exit —
+  whichever comes first; a hard kill is mopped up by the standard
+  ``resource_tracker`` (the owner stays registered on purpose).
+
+When shared memory is unavailable (``/dev/shm`` missing, sandboxed
+interpreter), :func:`shared_memory_available` reports it and callers fall
+back to the version-1 pickle-replica path unchanged.
+"""
+
+from __future__ import annotations
+
+import atexit
+import weakref
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.exceptions import LinkageError
+from repro.linkage.blocking import BlockingIndex
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (index pickles via us)
+    from repro.linkage.index import LinkageIndex
+
+__all__ = [
+    "SharedLinkageIndex",
+    "attach",
+    "attach_into",
+    "shared_memory_available",
+]
+
+#: Segment offsets are rounded up to this boundary so every array view is
+#: cache-line aligned regardless of the preceding array's length.
+_ALIGN = 64
+
+_AVAILABLE: bool | None = None
+
+
+def shared_memory_available() -> bool:
+    """Whether this interpreter can create and map shared-memory segments."""
+    global _AVAILABLE
+    if _AVAILABLE is None:
+        try:
+            from multiprocessing import shared_memory
+
+            probe = shared_memory.SharedMemory(create=True, size=_ALIGN)
+            try:
+                probe.buf[0] = 1
+                _AVAILABLE = probe.buf[0] == 1
+            finally:
+                probe.close()
+                probe.unlink()
+        except Exception:
+            _AVAILABLE = False
+    return _AVAILABLE
+
+
+def _release_segment(shm) -> None:
+    """Owner-side cleanup: unlink the segment, tolerating repeats/races."""
+    try:
+        shm.close()
+    except BufferError:
+        # Views are still exported somewhere in this process; the mapping
+        # lives until they die, but the name can and should go away now.
+        pass
+    except OSError:
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
+    except OSError:
+        pass
+
+
+# Attach-side segments, one per name per process: every unpickled manifest
+# reuses the same mapping, and all of them close together at interpreter exit.
+_ATTACHED_SEGMENTS: dict[str, object] = {}
+
+# Segments created by THIS process.  An in-process attach (owner unpickling
+# its own payload, `publication.attach()`) must leave the owner's resource
+# tracker registration in place — it is the crash safety net.
+_OWNED_NAMES: set[str] = set()
+
+
+def _close_attached_segments() -> None:
+    for shm in _ATTACHED_SEGMENTS.values():
+        try:
+            shm.close()
+        except Exception:
+            pass
+    _ATTACHED_SEGMENTS.clear()
+
+
+atexit.register(_close_attached_segments)
+
+
+def _open_segment(name: str):
+    """Map segment ``name`` read-write, once per process, without tracking.
+
+    The stdlib registers *attaching* processes with the resource tracker too,
+    which makes the first worker to exit unlink the segment under everyone
+    else (and print spurious leak warnings).  Attachers are not owners:
+    undo the registration immediately.
+    """
+    shm = _ATTACHED_SEGMENTS.get(name)
+    if shm is not None:
+        return shm
+    from multiprocessing import resource_tracker, shared_memory
+
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError as error:
+        raise LinkageError(
+            f"shared linkage segment {name!r} is gone; was the publishing "
+            "process closed before its workers attached?"
+        ) from error
+    if name not in _OWNED_NAMES:
+        try:
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+    _ATTACHED_SEGMENTS[name] = shm
+    return shm
+
+
+def _segment_arrays(index: "LinkageIndex") -> dict[str, np.ndarray]:
+    """Every buffer the segment carries, as contiguous fixed-dtype arrays.
+
+    Includes the *derived* padded matrices (``_codes``, ``_token_matrix``):
+    re-deriving them on attach would cost each worker a private allocation as
+    large as the originals, defeating the point of sharing.  Text (joined
+    names, vocabulary, blocking keys) rides as UTF-8 bytes and is decoded
+    lazily — or not at all — on the attach side.
+    """
+    blocking_state = index._blocking.__getstate__()
+    text = index._joined_names().encode("utf-8")
+    vocab_text = " ".join(index._vocab).encode("utf-8")
+    keys_text = blocking_state["keys"].encode("utf-8")
+    return {
+        "name_offsets": np.ascontiguousarray(index._name_offsets, dtype=np.int64),
+        "flat_codes": np.ascontiguousarray(index._flat_codes, dtype=np.int32),
+        "lengths": np.ascontiguousarray(index._lengths, dtype=np.int32),
+        "codes": np.ascontiguousarray(index._codes, dtype=np.int32),
+        "token_ids": np.ascontiguousarray(index._token_ids, dtype=np.int64),
+        "token_counts": np.ascontiguousarray(index._token_counts, dtype=np.int64),
+        "token_matrix": np.ascontiguousarray(index._token_matrix, dtype=np.int64),
+        "post_rows": np.ascontiguousarray(index._token_post_rows, dtype=np.int64),
+        "post_offsets": np.ascontiguousarray(
+            index._token_post_offsets, dtype=np.int64
+        ),
+        "names_text": np.frombuffer(text, dtype=np.uint8),
+        "vocab_text": np.frombuffer(vocab_text, dtype=np.uint8),
+        "block_keys_text": np.frombuffer(keys_text, dtype=np.uint8),
+        "block_counts": np.ascontiguousarray(
+            blocking_state["counts"], dtype=np.int64
+        ),
+        "block_rows": np.ascontiguousarray(blocking_state["rows"], dtype=np.int64),
+    }
+
+
+class SharedLinkageIndex:
+    """The owning handle of one published linkage-index segment.
+
+    Built by :meth:`publish`; the handle (not the index) controls the
+    segment's lifetime.  Usable as a context manager::
+
+        with SharedLinkageIndex.publish(index) as shared:
+            payload = pickle.dumps(anonymizer)   # ships the manifest only
+            ... run the worker pool ...
+        # segment unlinked here
+
+    Attributes
+    ----------
+    manifest:
+        The picklable attach recipe: segment name, scalar index parameters,
+        and each array's (offset, dtype, shape) within the segment.  This is
+        exactly what a version-2 index pickle carries.
+    """
+
+    def __init__(self, shm, manifest: dict, index: "LinkageIndex") -> None:
+        self._shm = shm
+        self.manifest = manifest
+        self._index_ref = weakref.ref(index)
+        self.active = True
+        # Covers garbage collection AND interpreter exit; `close()` simply
+        # runs it early.  A SIGKILL is covered by the resource tracker (the
+        # creating process's registration is deliberately left in place).
+        self._finalizer = weakref.finalize(self, _release_segment, shm)
+
+    @classmethod
+    def publish(
+        cls, index: "LinkageIndex", name: str | None = None
+    ) -> "SharedLinkageIndex":
+        """Copy ``index``'s buffers into a fresh shared segment.
+
+        While the returned handle is open, pickling ``index`` ships the
+        manifest instead of the buffers.  Raises
+        :class:`~repro.exceptions.LinkageError` when shared memory is
+        unavailable — callers gate on :func:`shared_memory_available` to fall
+        back to pickle replicas.
+        """
+        if not shared_memory_available():
+            raise LinkageError(
+                "multiprocessing.shared_memory is unavailable on this "
+                "interpreter; use the pickle-replica path instead"
+            )
+        from multiprocessing import shared_memory
+
+        arrays = _segment_arrays(index)
+        spec: dict[str, dict] = {}
+        offset = 0
+        for key, array in arrays.items():
+            offset = (offset + _ALIGN - 1) & ~(_ALIGN - 1)
+            spec[key] = {
+                "offset": offset,
+                "dtype": str(array.dtype),
+                "shape": tuple(int(n) for n in array.shape),
+            }
+            offset += array.nbytes
+        shm = shared_memory.SharedMemory(create=True, size=max(offset, 1), name=name)
+        for key, array in arrays.items():
+            if array.nbytes == 0:
+                continue
+            view = np.ndarray(
+                array.shape,
+                dtype=array.dtype,
+                buffer=shm.buf,
+                offset=spec[key]["offset"],
+            )
+            view[...] = array
+        manifest = {
+            "segment": shm.name,
+            "nbytes": int(offset),
+            "threshold": float(index.threshold),
+            "prefix_scale": float(index.prefix_scale),
+            "row_offset": int(index.row_offset),
+            "blocking_scheme": index._blocking.scheme,
+            "blocking_qgram_size": int(index._blocking.qgram_size),
+            "blocking_size": int(index._blocking._size),
+            "arrays": spec,
+        }
+        _OWNED_NAMES.add(shm.name)
+        publication = cls(shm, manifest, index)
+        index._shm_publication = publication
+        return publication
+
+    @property
+    def segment_name(self) -> str:
+        """The POSIX name of the shared segment (its ``/dev/shm`` entry)."""
+        return self.manifest["segment"]
+
+    @property
+    def nbytes(self) -> int:
+        """Total segment size — the cost of the single shared index copy."""
+        return self.manifest["nbytes"]
+
+    def attach(self) -> "LinkageIndex":
+        """A fresh index over this publication's segment (works in-process too)."""
+        return attach(self.manifest)
+
+    def close(self) -> None:
+        """Unlink the segment and stop manifest pickling.  Idempotent.
+
+        Processes still holding attached views keep their mapping until they
+        drop it (POSIX semantics); the name disappears immediately, so no
+        ``/dev/shm`` entry outlives the owner.
+        """
+        if not self.active:
+            return
+        self.active = False
+        index = self._index_ref()
+        if index is not None and getattr(index, "_shm_publication", None) is self:
+            index._shm_publication = None
+        self._finalizer()
+
+    def __enter__(self) -> "SharedLinkageIndex":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def attach(manifest: dict) -> "LinkageIndex":
+    """Reconstruct a :class:`~repro.linkage.LinkageIndex` over a shared segment.
+
+    Every array the index works with is a read-only view into the segment;
+    the only per-process allocations are the vocabulary dict, the blocking
+    postings dict (small dicts of segment views) and — lazily, on first
+    candidate-name report — the decoded corpus text.
+    """
+    from repro.linkage.index import LinkageIndex
+
+    index = object.__new__(LinkageIndex)
+    attach_into(index, manifest)
+    return index
+
+
+def attach_into(index: "LinkageIndex", manifest: dict) -> None:
+    """Populate ``index`` (``__setstate__`` of a version-2 pickle) from shm."""
+    shm = _open_segment(manifest["segment"])
+    arrays: dict[str, np.ndarray] = {}
+    for key, entry in manifest["arrays"].items():
+        view = np.ndarray(
+            tuple(entry["shape"]),
+            dtype=np.dtype(entry["dtype"]),
+            buffer=shm.buf,
+            offset=entry["offset"],
+        )
+        view.flags.writeable = False
+        arrays[key] = view
+    vocab_text = bytes(arrays["vocab_text"]).decode("utf-8")
+    blocking = BlockingIndex._from_flat(
+        manifest["blocking_scheme"],
+        manifest["blocking_qgram_size"],
+        manifest["blocking_size"],
+        bytes(arrays["block_keys_text"]).decode("utf-8"),
+        arrays["block_counts"],
+        arrays["block_rows"],
+    )
+    names_blob = arrays["names_text"]
+    index._attach_buffers(
+        threshold=manifest["threshold"],
+        prefix_scale=manifest["prefix_scale"],
+        row_offset=manifest["row_offset"],
+        names_joined=lambda: bytes(names_blob).decode("utf-8"),
+        name_offsets=arrays["name_offsets"],
+        flat_codes=arrays["flat_codes"],
+        lengths=arrays["lengths"],
+        vocab=tuple(vocab_text.split(" ")) if vocab_text else (),
+        token_ids=arrays["token_ids"],
+        token_counts=arrays["token_counts"],
+        post_rows=arrays["post_rows"],
+        post_offsets=arrays["post_offsets"],
+        blocking=blocking,
+        codes=arrays["codes"],
+        token_matrix=arrays["token_matrix"],
+    )
+    index._shm_attachment = shm

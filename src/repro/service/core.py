@@ -610,7 +610,11 @@ class AnonymizationService:
         Keyed by (identifier-column fingerprint, auxiliary-corpus fingerprint,
         name column) — the harvest is independent of anonymization algorithm,
         level and fusion engine, so every attack and FRED request over the
-        same identifiers and corpus reuses one linkage pass.
+        same identifiers and corpus reuses one linkage pass.  The active
+        kernel backend deliberately does not enter the key: the numba and
+        numpy kernels are bit-identical (enforced by the backend's load-time
+        self-check), so a harvest computed under either backend is valid for
+        both.
         """
         source = TableAuxiliarySource(
             table=self.dataset(auxiliary), name_column=name_column
@@ -810,7 +814,10 @@ class AnonymizationService:
     # Lifecycle / introspection -------------------------------------------------
 
     def stats(self) -> dict[str, object]:
-        """Service counters: datasets, cache behaviour, job states."""
+        """Service counters: datasets, cache behaviour, job states, linkage."""
+        from repro.linkage.kernels import kernel_backend_info
+        from repro.linkage.shm import shared_memory_available
+
         with self._datasets_lock:
             dataset_count = len(self._datasets)
         jobs = self._jobs.jobs()
@@ -818,6 +825,10 @@ class AnonymizationService:
             "pid": os.getpid(),
             "datasets": dataset_count,
             "cache": self._cache.stats(),
+            "linkage": {
+                "kernel_backend": kernel_backend_info(),
+                "shared_memory": shared_memory_available(),
+            },
             "jobs": {
                 "total": len(jobs),
                 "by_status": {

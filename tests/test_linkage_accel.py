@@ -1,0 +1,191 @@
+"""Tests for the kernel backend registry and the optional numba backend.
+
+The registry tests run everywhere.  The numba bit-equality tests — exact
+array equality against the NumPy reference on adversarial strings (empty,
+non-ASCII, length-bucket edges) — skip where numba is not installed; CI runs
+them in a dedicated numba leg.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linkage.accel import numba_available
+from repro.linkage.kernels import (
+    KERNEL_PRIMITIVES,
+    PAD,
+    QUERY_PAD,
+    KernelBackendUnavailable,
+    _jaro_similarity_pairs_numpy,
+    _levenshtein_distance_pairs_numpy,
+    _token_jaccard_pairs_numpy,
+    active_kernel_backend,
+    encode_query,
+    encode_strings,
+    kernel_backend,
+    kernel_backend_info,
+    set_kernel_backend,
+)
+
+requires_numba = pytest.mark.skipif(
+    not numba_available(), reason="numba is not installed"
+)
+
+
+class TestBackendRegistry:
+    def test_numpy_backend_is_always_available(self):
+        info = kernel_backend_info()
+        assert info["available"]["numpy"] is True
+        assert info["active"] in info["available"]
+        assert info["available"][info["active"]] is True
+
+    def test_auto_selection_never_raises(self):
+        previous = set_kernel_backend("auto")
+        try:
+            assert active_kernel_backend() in ("numpy", "numba")
+        finally:
+            set_kernel_backend(previous)
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(KernelBackendUnavailable, match="unknown kernel backend"):
+            set_kernel_backend("bogus")
+
+    def test_explicit_numba_selection_matches_availability(self):
+        if numba_available():
+            with kernel_backend("numba") as active:
+                assert active == "numba"
+        else:
+            with pytest.raises(KernelBackendUnavailable):
+                set_kernel_backend("numba")
+
+    def test_context_manager_restores_previous_backend(self):
+        before = active_kernel_backend()
+        with kernel_backend("numpy") as active:
+            assert active == "numpy"
+            assert active_kernel_backend() == "numpy"
+        assert active_kernel_backend() == before
+
+    def test_primitive_names_are_fixed(self):
+        assert KERNEL_PRIMITIVES == (
+            "levenshtein_distance_pairs",
+            "jaro_similarity_pairs",
+            "token_jaccard_pairs",
+        )
+
+
+def _pair_inputs(queries: list[str], candidates: list[str]):
+    """Pair-aligned (queries, codes, lengths) in match_many's bucketed shape."""
+    assert len(queries) == len(candidates)
+    assert len({len(q) for q in queries}) <= 1, "queries must share one length"
+    codes, lengths = encode_strings(candidates)
+    m = max((len(q) for q in queries), default=0)
+    query_codes = np.full((len(queries), max(m, 1)), PAD, dtype=np.int32)
+    for row, text in enumerate(queries):
+        if text:
+            query_codes[row, : len(text)] = encode_query(text)
+    return query_codes[:, :m] if m else query_codes[:, :0], codes, lengths
+
+
+# Names wider than ASCII on purpose: accents and non-Latin scripts go through
+# the same code paths as plain letters.
+name_strategy = st.text(
+    alphabet=st.characters(codec="utf-8", categories=("Lu", "Ll", "Zs")),
+    max_size=12,
+)
+
+
+@requires_numba
+class TestNumbaBitEquality:
+    @given(name_strategy, st.lists(name_strategy, min_size=1, max_size=8))
+    @settings(max_examples=120, deadline=None)
+    def test_string_kernels_match_numpy(self, query, candidates):
+        queries = [query] * len(candidates)
+        query_codes, codes, lengths = _pair_inputs(queries, candidates)
+        from repro.linkage.accel import build_numba_primitives
+
+        primitives = build_numba_primitives()
+        assert np.array_equal(
+            primitives["levenshtein_distance_pairs"](query_codes, codes, lengths),
+            _levenshtein_distance_pairs_numpy(query_codes, codes, lengths),
+        )
+        assert np.array_equal(
+            primitives["jaro_similarity_pairs"](query_codes, codes, lengths),
+            _jaro_similarity_pairs_numpy(query_codes, codes, lengths),
+        )
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.lists(st.integers(0, 9), max_size=4),
+                st.lists(st.integers(0, 9), max_size=4),
+                st.integers(0, 6),
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_token_jaccard_matches_numpy(self, rows):
+        from repro.linkage.accel import build_numba_primitives
+
+        width = max(max((len(q) for q, _, _ in rows), default=0), 1)
+        cwidth = max(max((len(c) for _, c, _ in rows), default=0), 1)
+        query_matrix = np.full((len(rows), width), QUERY_PAD, dtype=np.int64)
+        token_matrix = np.full((len(rows), cwidth), PAD, dtype=np.int64)
+        query_counts = np.empty(len(rows), dtype=np.int64)
+        token_counts = np.empty(len(rows), dtype=np.int64)
+        for r, (query_ids, cand_ids, extra_unknown) in enumerate(rows):
+            query_ids = sorted(set(query_ids))
+            cand_ids = sorted(set(cand_ids))
+            query_matrix[r, : len(query_ids)] = query_ids
+            token_matrix[r, : len(cand_ids)] = cand_ids
+            # Unknown query tokens enlarge the union without intersecting.
+            query_counts[r] = len(query_ids) + extra_unknown
+            token_counts[r] = len(cand_ids)
+        primitives = build_numba_primitives()
+        assert np.array_equal(
+            primitives["token_jaccard_pairs"](
+                query_matrix, query_counts, token_matrix, token_counts
+            ),
+            _token_jaccard_pairs_numpy(
+                query_matrix, query_counts, token_matrix, token_counts
+            ),
+        )
+
+    def test_length_bucket_edges(self):
+        """Candidates shorter, equal and longer than the query, plus empties."""
+        candidates = ["", "x", "xu", "maria lopez", "marai lpoez", "møller", "m" * 30]
+        for query in ["", "xu", "maria lopez", "møllér", "q" * 30]:
+            queries = [query] * len(candidates)
+            query_codes, codes, lengths = _pair_inputs(queries, candidates)
+            from repro.linkage.accel import build_numba_primitives
+
+            primitives = build_numba_primitives()
+            assert np.array_equal(
+                primitives["levenshtein_distance_pairs"](query_codes, codes, lengths),
+                _levenshtein_distance_pairs_numpy(query_codes, codes, lengths),
+            ), query
+            assert np.array_equal(
+                primitives["jaro_similarity_pairs"](query_codes, codes, lengths),
+                _jaro_similarity_pairs_numpy(query_codes, codes, lengths),
+            ), query
+
+    def test_match_many_results_identical_across_backends(self):
+        """End-to-end: the full matcher agrees under both backends."""
+        from repro.data.names import generate_names
+        from repro.fusion.web import name_variant
+        from repro.linkage import LinkageIndex
+
+        rng = np.random.default_rng(17)
+        corpus = generate_names(400, seed=17)
+        queries = [name_variant(corpus[i], rng) for i in rng.integers(0, 400, 60)]
+        queries += ["", "zz totally unknown zz", "møller ångström"]
+        index = LinkageIndex(corpus, threshold=0.82)
+        with kernel_backend("numpy"):
+            reference = index.match_many(queries)
+        with kernel_backend("numba"):
+            accelerated = index.match_many(queries)
+        assert accelerated == reference

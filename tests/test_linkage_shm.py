@@ -1,0 +1,266 @@
+"""Tests for the shared-memory linkage index (publish / attach / lifecycle).
+
+Covers the version-2 manifest pickle, publish -> attach round-trip equality,
+bit-identical FRED sweeps across ``executor="thread"`` / ``"process"`` /
+shared-memory mode, segment cleanup on normal and abnormal exit (no leaked
+``/dev/shm`` entries, no ``resource_tracker`` warnings), and the fallback
+when shared memory is unavailable.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro.linkage.shm as shm_module
+from repro.core.fred import FREDAnonymizer, FREDConfig
+from repro.exceptions import FREDConfigurationError, LinkageError
+from repro.linkage import LinkageIndex
+from repro.linkage.shm import SharedLinkageIndex, shared_memory_available
+
+requires_shm = pytest.mark.skipif(
+    not shared_memory_available(), reason="multiprocessing.shared_memory unavailable"
+)
+
+CORPUS = [
+    "Maria Lopez",
+    "José Álvarez",
+    "Annalise Keating-Price",
+    "Xu Wei",
+    "",
+    "Nils Møller",
+    "Maria Lopez",  # duplicate on purpose
+    "Quentin Delacroix-Beaumont",
+]
+QUERIES = ["maria lopez", "jose alvarez", "nils moller", "xu wei", "", "unknown person"]
+
+
+def _segment_exists(name: str) -> bool:
+    return Path("/dev/shm", name.lstrip("/")).exists()
+
+
+@requires_shm
+class TestPublishAttach:
+    def test_round_trip_matches_are_identical(self):
+        index = LinkageIndex(CORPUS, threshold=0.8)
+        reference_matches = index.match_many(QUERIES)
+        reference_scores = index.scores("maria lopez")
+        with SharedLinkageIndex.publish(index) as publication:
+            attached = publication.attach()
+            assert attached.size == index.size
+            assert attached.match_many(QUERIES) == reference_matches
+            assert (attached.scores("maria lopez") == reference_scores).all()
+            assert attached._materialized_names() == index._materialized_names()
+
+    def test_publication_switches_pickles_to_manifest(self):
+        index = LinkageIndex(CORPUS, threshold=0.8)
+        replica_payload = pickle.dumps(index)
+        with SharedLinkageIndex.publish(index):
+            manifest_payload = pickle.dumps(index)
+            assert len(manifest_payload) < len(replica_payload)
+            clone = pickle.loads(manifest_payload)
+            assert clone.match_many(QUERIES) == index.match_many(QUERIES)
+        # Closing the publication reverts pickling to the full-buffer form.
+        assert len(pickle.dumps(index)) >= len(replica_payload)
+
+    def test_index_stays_usable_after_close(self):
+        index = LinkageIndex(CORPUS, threshold=0.8)
+        before = index.match_many(QUERIES)
+        publication = SharedLinkageIndex.publish(index)
+        publication.close()
+        assert index.match_many(QUERIES) == before
+
+    def test_close_is_idempotent_and_unlinks(self):
+        index = LinkageIndex(CORPUS, threshold=0.8)
+        publication = SharedLinkageIndex.publish(index)
+        name = publication.segment_name
+        assert _segment_exists(name)
+        publication.close()
+        publication.close()
+        assert not publication.active
+        assert not _segment_exists(name)
+
+    def test_unpickling_a_closed_segment_raises(self):
+        index = LinkageIndex(CORPUS, threshold=0.8)
+        publication = SharedLinkageIndex.publish(index)
+        payload = pickle.dumps(index)
+        publication.close()
+        with pytest.raises(LinkageError, match="gone"):
+            pickle.loads(payload)
+
+    def test_attached_views_are_read_only(self):
+        index = LinkageIndex(CORPUS, threshold=0.8)
+        with SharedLinkageIndex.publish(index) as publication:
+            attached = publication.attach()
+            with pytest.raises(ValueError):
+                attached._codes[0, 0] = 1
+
+
+class TestAvailabilityFallback:
+    def test_publish_raises_when_unavailable(self, monkeypatch):
+        monkeypatch.setattr(shm_module, "_AVAILABLE", False)
+        assert not shared_memory_available()
+        index = LinkageIndex(CORPUS, threshold=0.8)
+        with pytest.raises(LinkageError, match="unavailable"):
+            SharedLinkageIndex.publish(index)
+
+    def test_fred_auto_mode_degrades_without_shared_memory(self, monkeypatch):
+        monkeypatch.setattr(shm_module, "_AVAILABLE", False)
+        assert FREDConfig(shared_index="auto").resolved_shared_index() is False
+        assert FREDConfig(shared_index="never").resolved_shared_index() is False
+        with pytest.raises(FREDConfigurationError, match="unavailable"):
+            FREDConfig(shared_index="always").resolved_shared_index()
+
+    def test_fred_rejects_unknown_shared_index_mode(self):
+        with pytest.raises(FREDConfigurationError, match="shared_index"):
+            FREDConfig(shared_index="sometimes")
+
+
+@pytest.fixture(scope="module")
+def fred_inputs():
+    from repro.data.faculty import FacultyConfig, generate_faculty
+    from repro.data.webgen import corpus_for_faculty
+    from repro.fusion.attack import AttackConfig
+
+    population = generate_faculty(FacultyConfig(count=30, seed=5))
+    corpus = corpus_for_faculty(population, distractor_count=5)
+    attack_config = AttackConfig(
+        release_inputs=(
+            "research_score", "teaching_score", "service_score", "years_of_service"
+        ),
+        auxiliary_inputs=("property_holdings", "employment_seniority"),
+        output_name="salary",
+        output_universe=population.assumed_salary_range,
+    )
+    return population, corpus, attack_config
+
+
+def _signatures(outcomes):
+    return [
+        (
+            o.level,
+            o.protection_before,
+            o.protection_after,
+            o.utility,
+            o.attack.estimates.tobytes(),
+        )
+        for o in outcomes
+    ]
+
+
+@requires_shm
+def test_sweep_bit_identical_across_executors(fred_inputs):
+    """thread, process+replicas and process+shared memory all agree exactly."""
+    population, corpus, attack_config = fred_inputs
+    levels = (2, 3, 4)
+    reference = None
+    for executor, shared_index in (
+        ("thread", "never"),
+        ("process", "never"),
+        ("process", "always"),
+    ):
+        config = FREDConfig(
+            levels=levels,
+            stop_below_utility=False,
+            parallelism=2,
+            executor=executor,
+            shared_index=shared_index,
+        )
+        outcomes = FREDAnonymizer(corpus, attack_config, config).sweep(
+            population.private
+        )
+        signatures = _signatures(outcomes)
+        if reference is None:
+            reference = signatures
+        else:
+            assert signatures == reference, (executor, shared_index)
+
+
+@requires_shm
+def test_worker_processes_see_no_leaks_or_tracker_warnings(tmp_path):
+    """A publish -> pool-attach -> exit cycle leaves no segment and no warnings.
+
+    Runs in a subprocess so the assertion covers the *entire* interpreter
+    lifetime, including the resource-tracker messages Python prints after
+    atexit handlers run.
+    """
+    script = tmp_path / "cycle.py"
+    script.write_text(
+        """
+import pickle, sys
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.linkage import LinkageIndex
+from repro.linkage.shm import SharedLinkageIndex
+
+def probe(payload):
+    index = pickle.loads(payload)
+    matches = index.match_many(["maria lopez", "nobody here"])
+    return matches[0] is not None
+
+names = ["Maria Lopez", "Jose Alvarez", "Nils Moller", "Xu Wei"] * 50
+index = LinkageIndex(names, threshold=0.8)
+with SharedLinkageIndex.publish(index) as publication:
+    name = publication.segment_name
+    payload = pickle.dumps(index)
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        results = [pool.submit(probe, payload).result() for _ in range(4)]
+assert all(results), results
+print("SEGMENT:" + name)
+"""
+    )
+    env = dict(os.environ, PYTHONPATH=str(Path(__file__).resolve().parent.parent / "src"))
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env=env,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert "resource_tracker" not in completed.stderr, completed.stderr
+    assert "leaked" not in completed.stderr, completed.stderr
+    segment = completed.stdout.strip().split("SEGMENT:")[-1]
+    assert segment and not _segment_exists(segment)
+
+
+@requires_shm
+def test_segment_unlinked_even_on_abnormal_exit(tmp_path):
+    """An owner dying mid-publication must not leave a /dev/shm entry behind.
+
+    The child publishes, reports the segment name, then raises out of main —
+    the GC/atexit finalizer (and, for hard kills, the resource tracker) must
+    still remove the segment.
+    """
+    script = tmp_path / "crash.py"
+    script.write_text(
+        """
+import sys
+from repro.linkage import LinkageIndex
+from repro.linkage.shm import SharedLinkageIndex
+
+index = LinkageIndex(["Maria Lopez", "Jose Alvarez"], threshold=0.8)
+publication = SharedLinkageIndex.publish(index)
+print("SEGMENT:" + publication.segment_name, flush=True)
+raise RuntimeError("simulated crash with an open publication")
+"""
+    )
+    env = dict(os.environ, PYTHONPATH=str(Path(__file__).resolve().parent.parent / "src"))
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env=env,
+    )
+    assert completed.returncode != 0
+    segment = completed.stdout.strip().split("SEGMENT:")[-1]
+    assert segment
+    assert not _segment_exists(segment), (
+        f"segment {segment} survived the owning process's crash"
+    )
