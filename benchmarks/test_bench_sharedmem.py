@@ -59,7 +59,12 @@ from repro.linkage.kernels import (
     levenshtein_distance_pairs,
     token_jaccard_pairs,
 )
-from repro.linkage.shm import SharedLinkageIndex, shared_memory_available
+from repro.linkage.shm import (
+    SharedLinkageIndex,
+    estimate_publish_bytes,
+    shared_memory_available,
+    shared_memory_free_bytes,
+)
 
 QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
 CORPUS_SIZE = 50_000 if QUICK else 1_000_000
@@ -217,6 +222,27 @@ def test_sharedmem_sweep_memory_and_identity(bench_gate):
 
     sleep = 0.5 if QUICK else 1.0
     protocol = pickle.HIGHEST_PROTOCOL
+    # Probe /dev/shm capacity before committing to the publish: a 10M-name
+    # corpus needs multiple GB of tmpfs, and an over-capacity publish dies
+    # mid-copy (ENOSPC/SIGBUS) rather than up front.  Record a skipped bench
+    # entry — the committed summary stays complete — instead of erroring.
+    needed = estimate_publish_bytes(index)
+    free = shared_memory_free_bytes()
+    if free is not None and needed > free:
+        bench_gate(
+            "linkage-sharedmem-sweep",
+            corpus=CORPUS_SIZE,
+            workers=WORKERS,
+            required=REQUIRED_MEMORY_RATIO,
+            needed_mb=round(needed / 1e6, 1),
+            free_mb=round(free / 1e6, 1),
+            skipped="insufficient /dev/shm capacity for the publish",
+        )
+        pytest.skip(
+            f"/dev/shm has {free / 1e6:.0f} MB free; the publish needs "
+            f"{needed / 1e6:.0f} MB"
+        )
+
     baseline_uss = _pool_uss(
         pickle.dumps((baseline, private, None), protocol=protocol), sleep
     )

@@ -18,7 +18,12 @@ header lines: column names, then ``role:kind`` declarations):
   chosen release);
 * ``repro serve``      — run the long-lived anonymization service: a threaded
   JSON/HTTP server with dataset registration, fingerprint-keyed release and
-  attack caching, and asynchronous FRED jobs (see :mod:`repro.service`).
+  attack caching, and asynchronous FRED jobs (see :mod:`repro.service`);
+* ``repro append``     — append delta rows from one CSV onto a base CSV using
+  the chunked streaming reader, writing the combined table and reporting its
+  *chained* content fingerprint (``sha256(base_fp ‖ delta_fp)`` — the same
+  identity ``POST /append/<fp>`` registers, so offline and served pipelines
+  agree on what an appended dataset is called).
 
 Example
 -------
@@ -45,7 +50,7 @@ from repro.anonymize.mdav import MDAVAnonymizer
 from repro.anonymize.mondrian import MondrianAnonymizer
 from repro.core.fred import FREDAnonymizer, FREDConfig
 from repro.core.objective import WeightedObjective
-from repro.dataset.io import read_csv, write_csv
+from repro.dataset.io import append_csv, read_csv, write_csv
 from repro.dataset.schema import Attribute, AttributeKind, AttributeRole, Schema
 from repro.dataset.table import Table
 from repro.exceptions import ReproError
@@ -136,6 +141,18 @@ def build_parser() -> argparse.ArgumentParser:
         "unpickling private replicas (auto: when shared memory is available)",
     )
     _add_linkage_arguments(fred)
+
+    append = subparsers.add_parser(
+        "append",
+        help="append delta CSV rows onto a base CSV (chained content fingerprint)",
+    )
+    append.add_argument("--base", type=Path, required=True, help="base table CSV")
+    append.add_argument("--delta", type=Path, required=True, help="delta rows CSV (same schema)")
+    append.add_argument("--output", type=Path, required=True, help="combined CSV to write")
+    append.add_argument(
+        "--chunk-rows", type=int, default=65536,
+        help="rows per streamed parse chunk of the delta read",
+    )
 
     serve = subparsers.add_parser(
         "serve",
@@ -396,8 +413,21 @@ def _command_serve(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _command_append(arguments: argparse.Namespace) -> int:
+    base = read_csv(arguments.base)
+    combined = append_csv(arguments.delta, base, chunk_rows=arguments.chunk_rows)
+    write_csv(combined, arguments.output)
+    appended = combined.num_rows - base.num_rows
+    print(
+        f"wrote {arguments.output} ({base.num_rows} + {appended} rows, "
+        f"chained fingerprint {combined.fingerprint})"
+    )
+    return 0
+
+
 _COMMANDS = {
     "anonymize": _command_anonymize,
+    "append": _command_append,
     "attack": _command_attack,
     "fred": _command_fred,
     "serve": _command_serve,

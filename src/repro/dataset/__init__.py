@@ -10,7 +10,7 @@ from repro.dataset.generalization import (
     numeric_representative,
 )
 from repro.dataset.hierarchy import GeneralizationHierarchy, NumericHierarchy, TaxonomyHierarchy
-from repro.dataset.io import read_csv, write_csv
+from repro.dataset.io import append_csv, read_csv, write_csv
 from repro.dataset.schema import Attribute, AttributeKind, AttributeRole, Schema
 from repro.dataset.statistics import (
     ColumnSummary,
@@ -38,6 +38,7 @@ __all__ = [
     "TaxonomyHierarchy",
     "read_csv",
     "write_csv",
+    "append_csv",
     "ColumnSummary",
     "summarize_column",
     "summarize_table",

@@ -70,6 +70,7 @@ from repro.exceptions import TableError
 __all__ = [
     "write_csv",
     "read_csv",
+    "append_csv",
     "render_csv",
     "stream_csv",
     "write_jsonl",
@@ -708,6 +709,25 @@ def read_csv(
     path = Path(path)
     with path.open("r", newline="", encoding="utf-8") as handle:
         return stream_csv(handle, chunk_rows=chunk_rows, source=str(path), fast=fast)
+
+
+def append_csv(
+    path: str | Path,
+    table: Table,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    fast: bool = True,
+) -> Table:
+    """Append the delta rows of the CSV at ``path`` onto ``table``.
+
+    The delta document carries the same two header lines as any other table
+    CSV and must declare the same schema; its rows stream through the chunked
+    NumPy fast path exactly like a cold ingest, so parsing cost is O(delta).
+    The result is :meth:`Table.append` of the two tables — the fingerprint is
+    the *chained* digest of the base and delta fingerprints, making the
+    append identity O(delta) end to end.
+    """
+    delta = read_csv(path, chunk_rows=chunk_rows, fast=fast)
+    return table.append(delta)
 
 
 # --------------------------------------------------------------------------

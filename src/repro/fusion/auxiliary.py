@@ -344,6 +344,31 @@ class TableAuxiliarySource(AuxiliarySource):
             name: self.table.column_array(name) for name in self.attribute_names
         }
 
+    def append_rows(self, delta: Table) -> None:
+        """Append ``delta``'s rows in place, growing the source incrementally.
+
+        The backing table is replaced by its chained-fingerprint append
+        (:meth:`~repro.dataset.table.Table.append`) and every derived
+        structure grows by the delta only: the exact-lookup dict gains the
+        new names (later rows win on duplicates, preserving the historical
+        last-occurrence rule) and the approximate-mode
+        :class:`~repro.linkage.LinkageIndex` is extended via its delta path
+        instead of being rebuilt over the whole corpus.
+        """
+        appended = self.table.append(delta)  # TableError on schema mismatch
+        delta_names = [str(name) for name in delta.column(self.name_column)]
+        if self._names is not None:
+            offset = len(self._names)
+            self._names.extend(delta_names)
+            for i, name in enumerate(delta_names):
+                self._by_name[name] = offset + i
+        self.table = appended
+        self._columns = {
+            name: appended.column_array(name) for name in self.attribute_names
+        }
+        if self._index is not None:
+            self._index.extend(delta_names)
+
     def _name_lookup(self) -> dict[str, int]:
         """The exact-mode name -> row dict, rebuilt lazily after unpickling."""
         if self._by_name is None:

@@ -258,6 +258,35 @@ class BlockingIndex:
                 offsets[i] : offsets[i + 1]
             ]
 
+    def extend(self, delta_size: int, tokens: TokenStream) -> None:
+        """Merge the postings of ``delta_size`` appended corpus rows in place.
+
+        ``tokens`` is the :class:`TokenStream` of the appended names alone,
+        with rows numbered from 0; they become corpus rows
+        ``[size, size + delta_size)``.  Posting arrays stay unique and
+        ascending (every new row exceeds every existing one), so each key's
+        rows equal a from-scratch build over the full corpus.  Only the
+        postings *dict order* may differ from a rebuild — candidate sets are
+        unions over the query's keys and never observe it.
+        """
+        offset = self._size
+        self._size += delta_size
+        if self.scheme == "none" or delta_size == 0:
+            return
+        delta = object.__new__(BlockingIndex)
+        delta.scheme = self.scheme
+        delta.qgram_size = self.qgram_size
+        delta._size = delta_size
+        delta._postings = {}
+        delta._build_postings(tokens)
+        postings = self._postings
+        for key, rows in delta._postings.items():
+            shifted = rows + offset
+            existing = postings.get(key)
+            postings[key] = (
+                shifted if existing is None else np.concatenate([existing, shifted])
+            )
+
     def keys(self, normalized: str) -> set[str]:
         """The block keys of one normalized name under this scheme."""
         keys: set[str] = set()

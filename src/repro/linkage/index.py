@@ -183,6 +183,8 @@ class LinkageIndex:
         blocking: BlockingIndex,
         codes: np.ndarray | None = None,
         token_matrix: np.ndarray | None = None,
+        perfect_sorted: tuple[np.ndarray, np.ndarray] | None = None,
+        char_bounds: "tuple[np.ndarray, np.ndarray] | None | object" = _UNSET,
     ) -> None:
         """Adopt the flat buffers and rebuild the derived padded matrices.
 
@@ -221,7 +223,14 @@ class LinkageIndex:
         self._blocking = blocking
         self._names_list: list[str] | None = None
         self._perfect_cache: dict[bytes, int] | None = None
-        self._char_cache: tuple[np.ndarray, np.ndarray] | None | object = _UNSET
+        #: Shared-memory form of the perfect-match table (attachers only): a
+        #: byte-lexicographically sorted ``uint8`` key matrix plus the matching
+        #: corpus rows, published once by the segment owner.
+        self._perfect_sorted = perfect_sorted
+        self._char_cache: tuple[np.ndarray, np.ndarray] | None | object = char_bounds
+        #: Grow-by-doubling capacity buffers backing :meth:`extend`, keyed by
+        #: buffer name; reset whenever fresh buffers are adopted.
+        self._growable: dict[str, np.ndarray] = {}
 
     # Introspection ------------------------------------------------------------------
 
@@ -305,6 +314,22 @@ class LinkageIndex:
         ids.sort()
         key = np.full(width, PAD, dtype=np.int64)
         key[: len(ids)] = ids
+        shared = self._perfect_sorted
+        if shared is not None:
+            # Attached over shared memory: binary-search the owner's sorted
+            # key matrix instead of building a private dict per worker.
+            keys, rows = shared
+            target = key.tobytes()
+            lo, hi = 0, keys.shape[0]
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if keys[mid].tobytes() < target:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            if lo < keys.shape[0] and keys[lo].tobytes() == target:
+                return int(rows[lo])
+            return None
         return self._perfect_rows().get(key.tobytes())
 
     def _char_bounds(self) -> tuple[np.ndarray, np.ndarray] | None:
@@ -677,6 +702,249 @@ class LinkageIndex:
             else:
                 resolved[query] = None
             offset += int(count)
+
+    # Incremental growth ---------------------------------------------------------------
+
+    def _grown(self, key: str, old: np.ndarray, delta: np.ndarray) -> np.ndarray:
+        """Append ``delta`` after ``old`` inside an amortized-O(1) capacity buffer.
+
+        Returns a length-exact view over a private buffer that doubles when
+        full, so a stream of small :meth:`extend` calls copies each element
+        O(1) times instead of reallocating every flat buffer per call.
+        """
+        total = old.shape[0] + delta.shape[0]
+        buffer = self._growable.get(key)
+        if buffer is None or old.base is not buffer or buffer.shape[0] < total:
+            buffer = np.empty(max(total, 2 * old.shape[0], 8), dtype=old.dtype)
+            buffer[: old.shape[0]] = old
+            self._growable[key] = buffer
+        buffer[old.shape[0] : total] = delta
+        return buffer[:total]
+
+    def _grown_matrix(
+        self, key: str, old: np.ndarray, delta: np.ndarray, width: int, pad: int
+    ) -> np.ndarray:
+        """Row-append ``delta`` under ``old``, re-padding only when ``width`` grew.
+
+        Capacity rows are pre-filled with ``pad`` at allocation and written
+        exactly once, so the result is cell-identical to padding the full
+        ragged buffer from scratch at the new width.
+        """
+        total = old.shape[0] + delta.shape[0]
+        buffer = self._growable.get(key)
+        if (
+            buffer is None
+            or old.base is not buffer
+            or buffer.shape[0] < total
+            or buffer.shape[1] != width
+        ):
+            buffer = np.full(
+                (max(total, 2 * old.shape[0], 8), width), pad, dtype=old.dtype
+            )
+            buffer[: old.shape[0], : old.shape[1]] = old
+            self._growable[key] = buffer
+        buffer[old.shape[0] : total, : delta.shape[1]] = delta
+        return buffer[:total]
+
+    def extend(self, corpus_names: Sequence[str]) -> None:
+        """Append ``corpus_names`` to the corpus, updating every artifact in place.
+
+        Bit-identical to building a fresh index over ``old + new`` names
+        (pinned artifact-by-artifact by the hypothesis suite): the delta is
+        normalized, encoded and tokenized alone (batch normalization is
+        per-name, so slicing commutes with it), new vocabulary ids continue
+        the first-appearance numbering, the per-id postings receive the new
+        rows through one vectorized splice, and the padded code/token
+        matrices re-pad only when the delta grows the corpus maximum width.
+        Flat buffers live in grow-by-doubling capacity arrays
+        (:meth:`_grown`), so appending N rows costs O(N) amortized encode
+        work plus one O(corpus) postings memcpy — no re-normalization,
+        re-tokenization or re-sort of the existing rows.  The lazy
+        perfect-match and char-bound caches are patched in place when the
+        append leaves their shape valid and invalidated otherwise.
+
+        A shared-memory *attacher* (read-only views over another process's
+        segment) cannot grow its buffers — extending one raises
+        :class:`~repro.exceptions.LinkageError`; extend the publishing index
+        instead, which refreshes its publication automatically.  Extending a
+        :meth:`shard` is allowed and appends rows at the shard's end.
+        """
+        if getattr(self, "_shm_attachment", None) is not None:
+            raise LinkageError(
+                "cannot extend a shared-memory attached LinkageIndex: its "
+                "buffers are read-only views over the owner's segment; "
+                "extend the publishing index and re-attach"
+            )
+        names = [str(name) for name in corpus_names]
+        if not names:
+            return
+        old_n = self.size
+        delta_n = len(names)
+        normalized = normalize_names(names)
+        flat_codes, lengths = encode_strings_flat(normalized)
+        row_of_char = np.repeat(
+            np.arange(delta_n, dtype=np.int64), lengths.astype(np.int64)
+        )
+        spaces = np.bincount(row_of_char[flat_codes == 32], minlength=delta_n)
+        stream = tokenize_corpus(normalized, token_counts=spaces + (lengths > 0))
+
+        # Vocabulary ids continue the global first-appearance numbering: a
+        # delta token unseen so far gets the next free id, in delta order —
+        # exactly the numbering a full rebuild assigns.
+        old_vocab_size = len(self._vocab)
+        new_tokens: list[str] = []
+        mapping = np.empty(len(stream.unique), dtype=np.int64)
+        for local_id, token in enumerate(stream.unique):
+            global_id = self._vocabulary.get(token)
+            if global_id is None:
+                global_id = old_vocab_size + len(new_tokens)
+                new_tokens.append(token)
+            mapping[local_id] = global_id
+        vocab_size = old_vocab_size + len(new_tokens)
+
+        # Dedupe the delta's (row, token) pairs exactly like ``__init__``;
+        # old and new rows are disjoint, so the full corpus's deduped pair
+        # set is the concatenation of the old pairs with these.
+        global_rows = stream.rows + old_n
+        mapped_ids = mapping[stream.ids]
+        stride = np.int64(max(vocab_size, 1))
+        pairs = np.sort(
+            _compact_ints(
+                global_rows * stride + mapped_ids, (old_n + delta_n) * int(stride)
+            )
+        )
+        if pairs.size:
+            pairs = pairs[np.concatenate(([True], pairs[1:] != pairs[:-1]))]
+        delta_pair_rows = (pairs // stride).astype(np.intp)
+        delta_pair_ids = pairs % stride
+        delta_token_counts = np.bincount(
+            delta_pair_rows - old_n, minlength=delta_n
+        ).astype(np.int64)
+
+        # Postings splice: every id's rows stay ascending (new rows exceed
+        # all old ones), so the spliced arrays equal a rebuild's stable
+        # id-sort over the combined pair set.
+        old_post_rows = self._token_post_rows
+        old_offsets = self._token_post_offsets
+        old_counts = np.diff(old_offsets)
+        padded_old_counts = np.zeros(vocab_size, dtype=np.int64)
+        padded_old_counts[:old_vocab_size] = old_counts
+        delta_post_counts = np.bincount(delta_pair_ids, minlength=vocab_size)
+        new_post_offsets = np.concatenate(
+            ([0], np.cumsum(padded_old_counts + delta_post_counts))
+        )
+        new_post_rows = np.empty(
+            old_post_rows.shape[0] + delta_pair_rows.shape[0], dtype=np.intp
+        )
+        if old_post_rows.size:
+            shift = new_post_offsets[:old_vocab_size] - old_offsets[:-1]
+            ids_per_old = np.repeat(
+                np.arange(old_vocab_size, dtype=np.int64), old_counts
+            )
+            new_post_rows[
+                np.arange(old_post_rows.shape[0]) + shift[ids_per_old]
+            ] = old_post_rows
+        if delta_pair_rows.size:
+            by_id = np.argsort(
+                _compact_ints(delta_pair_ids, vocab_size), kind="stable"
+            )
+            within = np.arange(
+                delta_pair_rows.shape[0], dtype=np.int64
+            ) - np.repeat(
+                np.concatenate(([0], np.cumsum(delta_post_counts)[:-1])),
+                delta_post_counts,
+            )
+            targets = (
+                np.repeat(
+                    new_post_offsets[:-1] + padded_old_counts, delta_post_counts
+                )
+                + within
+            )
+            new_post_rows[targets] = delta_pair_rows[by_id]
+
+        new_width = max(self._codes.shape[1], max(int(lengths.max(initial=0)), 1))
+        new_token_width = max(
+            self._token_matrix.shape[1],
+            max(int(delta_token_counts.max(initial=0)), 1),
+        )
+        token_width_grew = new_token_width > self._token_matrix.shape[1]
+        delta_codes = pad_ragged(flat_codes, lengths, PAD, np.int32)
+        delta_token_matrix = pad_ragged(
+            delta_pair_ids, delta_token_counts, PAD, np.int64
+        )
+        delta_name_lengths = np.fromiter(
+            (len(name) for name in names), dtype=np.int64, count=delta_n
+        )
+
+        # Adopt the grown buffers.
+        self._names_joined = self._joined_names() + "".join(names)
+        self._name_offsets = self._grown(
+            "name_offsets",
+            self._name_offsets,
+            self._name_offsets[-1] + np.cumsum(delta_name_lengths),
+        )
+        self._flat_codes = self._grown("flat_codes", self._flat_codes, flat_codes)
+        self._lengths = self._grown("lengths", self._lengths, lengths)
+        self._codes = self._grown_matrix(
+            "codes", self._codes, delta_codes, new_width, PAD
+        )
+        self._vocab = self._vocab + tuple(new_tokens)
+        for i, token in enumerate(new_tokens):
+            self._vocabulary[token] = old_vocab_size + i
+        self._token_ids = self._grown("token_ids", self._token_ids, delta_pair_ids)
+        self._token_counts = self._grown(
+            "token_counts", self._token_counts, delta_token_counts
+        )
+        self._token_matrix = self._grown_matrix(
+            "token_matrix", self._token_matrix, delta_token_matrix, new_token_width, PAD
+        )
+        self._token_post_rows = new_post_rows
+        self._token_post_offsets = new_post_offsets
+        self._blocking.extend(delta_n, stream)
+
+        # Patch or invalidate the lazy caches.
+        if self._names_list is not None:
+            self._names_list.extend(names)
+        if self._perfect_cache is not None:
+            if token_width_grew:
+                # Every key's padding changed width; rebuild lazily.
+                self._perfect_cache = None
+            else:
+                matrix = np.ascontiguousarray(self._token_matrix[old_n:])
+                row_bytes = matrix.tobytes()
+                stride_bytes = matrix.shape[1] * matrix.itemsize
+                cache = self._perfect_cache
+                # Delta rows ascend, and every cached row is lower still, so
+                # setdefault keeps the lowest row per key — the rebuild rule.
+                for local in np.flatnonzero(delta_token_counts > 0).tolist():
+                    cache.setdefault(
+                        row_bytes[local * stride_bytes : (local + 1) * stride_bytes],
+                        old_n + local,
+                    )
+        if self._char_cache is None:
+            # The corpus alphabet may have left the empty/oversized regime.
+            self._char_cache = _UNSET
+        elif self._char_cache is not _UNSET:
+            alphabet, counts = self._char_cache
+            positions = np.searchsorted(alphabet, flat_codes)
+            clipped = np.minimum(positions, alphabet.size - 1)
+            if flat_codes.size == 0 or bool(np.all(alphabet[clipped] == flat_codes)):
+                delta_counts = (
+                    np.bincount(
+                        row_of_char * alphabet.size + positions,
+                        minlength=delta_n * alphabet.size,
+                    )
+                    .reshape(delta_n, alphabet.size)
+                    .astype(np.int32)
+                )
+                self._char_cache = (alphabet, np.concatenate([counts, delta_counts]))
+            else:
+                # New characters widen the alphabet; rebuild lazily.
+                self._char_cache = _UNSET
+
+        publication = getattr(self, "_shm_publication", None)
+        if publication is not None and publication.active:
+            publication.refresh()
 
     # Serialization / sharding ---------------------------------------------------------
 

@@ -5,7 +5,10 @@ production-shaped service:
 
 * :mod:`repro.service.core` — the thread-safe service façade: a dataset
   registry keyed by content fingerprint, memoized releases / attack runs /
-  FRED sweeps, and asynchronous job execution;
+  FRED sweeps, asynchronous job execution, and incremental appends
+  (``POST /append/<fingerprint>``) that chain the content fingerprint,
+  invalidate exactly the superseded cache entries, and tombstone the old
+  fingerprint in the shared store so sibling workers never serve it stale;
 * :mod:`repro.service.cache` — the two-tier (LRU + disk-spill) result cache
   with single-flight computation, the mechanism behind exactly-once work
   under concurrent identical requests;

@@ -125,6 +125,7 @@ class TwoTierCache:
         self._coalesced_waits = 0
         self._container_spills = 0
         self._spill_evictions = 0
+        self._invalidations = 0
 
     # Lookup / computation ------------------------------------------------------
 
@@ -216,12 +217,68 @@ class TwoTierCache:
                 "coalesced_waits": self._coalesced_waits,
                 "container_spills": self._container_spills,
                 "spill_evictions": self._spill_evictions,
+                "invalidations": self._invalidations,
             }
 
     def clear(self) -> None:
         """Drop the in-memory tier (spilled entries are kept)."""
         with self._lock:
             self._memory.clear()
+
+    def invalidate_fingerprint(self, fingerprint: str) -> int:
+        """Drop every entry whose key mentions ``fingerprint``, both tiers.
+
+        Appending rows to a dataset supersedes its fingerprint; this removes
+        every artifact derived from it — in-memory entries plus spilled
+        containers and pickled pairs (both codec twins) — so no worker
+        sharing the spill directory can serve a stale artifact for it.
+        Spilled keys are read from the container manifest (cheap) or the
+        pickled pair; unreadable files are left alone.  Returns the number
+        of entries removed (a memory+spill pair counts once per tier form).
+        """
+        removed = 0
+        with self._lock:
+            stale = [
+                key
+                for key in self._memory
+                if isinstance(key, tuple) and fingerprint in key
+            ]
+            for key in stale:
+                del self._memory[key]
+            removed += len(stale)
+        if self._spill_dir is not None:
+            seen: set[Path] = set()
+            try:
+                children = list(self._spill_dir.iterdir())
+            except OSError:
+                children = []
+            for child in children:
+                if child.suffix not in _SPILL_SUFFIXES or not child.is_file():
+                    continue
+                base = child.with_suffix("")
+                if base in seen:
+                    continue
+                seen.add(base)
+                key = self._spilled_key(child)
+                if isinstance(key, tuple) and fingerprint in key:
+                    base.with_suffix(".pkl").unlink(missing_ok=True)
+                    base.with_suffix(SPILL_CONTAINER_SUFFIX).unlink(missing_ok=True)
+                    removed += 1
+        with self._lock:
+            self._invalidations += removed
+        return removed
+
+    def _spilled_key(self, path: Path) -> object | None:
+        """The cache key stored in one spill file, or ``None`` if unreadable."""
+        if path.suffix == SPILL_CONTAINER_SUFFIX:
+            ok, key, _ = decode_entry(path)
+            return key if ok else None
+        try:
+            with path.open("rb") as handle:
+                key, _ = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ValueError):
+            return None
+        return key
 
     # Internals -----------------------------------------------------------------
 

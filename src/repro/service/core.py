@@ -19,7 +19,15 @@ JSON/HTTP layer in :mod:`repro.service.http`:
   attack/FRED requests over the same identifiers skip record linkage
   entirely regardless of algorithm, level or engine;
 * launch a **FRED sweep** as an asynchronous job and poll it, with the sweep
-  itself fanned out over :class:`~repro.core.fred.FREDConfig` worker pools.
+  itself fanned out over :class:`~repro.core.fred.FREDConfig` worker pools;
+* **append** streamed rows onto a registered dataset without re-uploading it:
+  the result is registered under the *chained* content fingerprint
+  (:func:`~repro.dataset.table.chain_fingerprints`, O(delta) hashing), the
+  old fingerprint is superseded — a tombstone in the shared dataset store
+  tells every sibling worker of a multi-process front to drop its private
+  copy — and exactly the cached artifacts derived from the old fingerprint
+  are invalidated, in memory and in the shared spill tier, so no worker can
+  serve a pre-append release under a post-append identity.
 
 All public methods are thread-safe; the cache's single-flight discipline
 guarantees that concurrent identical requests compute each artifact exactly
@@ -355,6 +363,12 @@ class AnonymizationService:
             max_workers=job_workers, max_retained=job_retention, store=job_store
         )
         self._fred_parallelism = fred_parallelism
+        # Appends are serialized per process: two concurrent appends to the
+        # same base must chain (A then B), not race (both off A, one lost).
+        self._append_lock = threading.Lock()
+        self._appends = 0
+        self._append_rows = 0
+        self._append_invalidated = 0
         self._closed = False
 
     @classmethod
@@ -389,8 +403,12 @@ class AnonymizationService:
                 created = True
             else:
                 created = False
-        if created and self._dataset_store is not None:
-            self._store_dataset(fingerprint, table, label)
+        if self._dataset_store is not None:
+            if created:
+                self._store_dataset(fingerprint, table, label)
+            # Re-registering content that an append once superseded makes the
+            # fingerprint live again; clear any tombstone so lookups succeed.
+            self._tombstone_path(fingerprint).unlink(missing_ok=True)
         info = self._dataset_info(fingerprint)
         info["created"] = created
         return info
@@ -406,6 +424,30 @@ class AnonymizationService:
             os.replace(temp, path)
         finally:
             temp.unlink(missing_ok=True)
+
+    def _tombstone_path(self, fingerprint: str) -> Path:
+        assert self._dataset_store is not None
+        return self._dataset_store / f"{fingerprint}.superseded"
+
+    def _write_tombstone(self, fingerprint: str, successor: str) -> None:
+        """Mark ``fingerprint`` as superseded by ``successor`` (atomic)."""
+        path = self._tombstone_path(fingerprint)
+        temp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        try:
+            temp.write_text(successor, encoding="ascii")
+            os.replace(temp, path)
+        finally:
+            temp.unlink(missing_ok=True)
+
+    def _superseded_by(self, fingerprint: str) -> str | None:
+        """The successor fingerprint if an append superseded this one."""
+        if self._dataset_store is None:
+            return None
+        try:
+            text = self._tombstone_path(fingerprint).read_text(encoding="ascii")
+        except OSError:
+            return None
+        return text.strip() or None
 
     def _load_stored_dataset(self, fingerprint: str) -> _DatasetEntry | None:
         """Adopt a dataset published to the store by a sibling worker.
@@ -441,6 +483,7 @@ class AnonymizationService:
             path = self._dataset_store / f"{fingerprint}{SPILL_CONTAINER_SUFFIX}"
             stored = path.exists()
             path.unlink(missing_ok=True)
+            self._tombstone_path(fingerprint).unlink(missing_ok=True)
         if entry is None and not stored:
             raise UnknownDatasetError(f"unknown dataset: {fingerprint!r}")
         label = entry.label if entry is not None else ""
@@ -463,10 +506,21 @@ class AnonymizationService:
 
         Falls through to the shared dataset store (when a cache directory is
         configured) so a worker process finds datasets registered by a
-        sibling worker of the same multi-process front.
+        sibling worker of the same multi-process front.  Fingerprints that an
+        append superseded — possibly in a *sibling* worker — are refused (and
+        any stale private copy dropped) with an error naming the successor,
+        so no worker of a multi-process front serves pre-append content.
         """
         with self._datasets_lock:
             entry = self._datasets.get(fingerprint)
+        successor = self._superseded_by(fingerprint)
+        if successor is not None:
+            with self._datasets_lock:
+                self._datasets.pop(fingerprint, None)
+            raise UnknownDatasetError(
+                f"dataset {fingerprint!r} was superseded by an append; "
+                f"the current fingerprint is {successor!r}"
+            )
         if entry is None:
             entry = self._load_stored_dataset(fingerprint)
         if entry is None:
@@ -493,6 +547,112 @@ class AnonymizationService:
         with self._datasets_lock:
             fingerprints = list(self._datasets)
         return [self._dataset_info(fp) for fp in fingerprints]
+
+    # Incremental ingest --------------------------------------------------------
+
+    def _parse_delta(self, lines: Iterable[str], fmt: str) -> Table:
+        if fmt == "csv":
+            delta = stream_csv(lines, source="<append:csv>")
+        elif fmt == "jsonl":
+            delta = stream_jsonl(lines, source="<append:jsonl>")
+        else:
+            raise ServiceError(
+                f"unknown upload format {fmt!r}; options: ['csv', 'jsonl']"
+            )
+        if delta.num_rows == 0:
+            raise ServiceError("cannot append an empty delta")
+        return delta
+
+    def append_stream(
+        self,
+        fingerprint: str,
+        lines: Iterable[str],
+        fmt: str = "csv",
+        label: str | None = None,
+    ) -> dict[str, object]:
+        """Append streamed CSV/JSONL rows onto a registered dataset.
+
+        The delta's schema must match the base (same names, roles and
+        kinds).  See :meth:`append_table` for the identity and invalidation
+        semantics.
+        """
+        return self.append_table(fingerprint, self._parse_delta(lines, fmt), label=label)
+
+    def append_table(
+        self, fingerprint: str, delta: Table, label: str | None = None
+    ) -> dict[str, object]:
+        """Append ``delta``'s rows onto the dataset ``fingerprint``.
+
+        The appended table is registered under its *chained* fingerprint
+        (``sha256(base_fp ‖ delta_fp)`` — O(delta) hashing, never a rescan of
+        the base), and the old fingerprint is **superseded**: its store entry
+        is replaced by a tombstone naming the successor, so sibling workers
+        holding a private pre-append copy drop it on next touch, and every
+        cached artifact keyed by the old fingerprint — releases, rendered
+        CSVs, attacks, FRED sweeps, in memory and in the shared spill tier —
+        is invalidated.  Artifacts keyed by *content* that did not change
+        (e.g. harvests keyed by the identifier-column fingerprint) survive
+        untouched.
+        """
+        if delta.num_rows == 0:
+            raise ServiceError("cannot append an empty delta")
+        with self._append_lock:
+            base = self.dataset(fingerprint)
+            appended = base.append(delta)  # TableError on schema mismatch
+            new_fingerprint = appended.fingerprint
+            with self._datasets_lock:
+                old_entry = self._datasets.pop(fingerprint, None)
+                if label is None:
+                    label = old_entry.label if old_entry is not None else ""
+                self._datasets[new_fingerprint] = _DatasetEntry(
+                    table=appended, label=label
+                )
+            if self._dataset_store is not None:
+                self._store_dataset(new_fingerprint, appended, label)
+                self._tombstone_path(new_fingerprint).unlink(missing_ok=True)
+                # Tombstone before unlinking the old container: a racing
+                # sibling either still finds the old content (pre-append
+                # snapshot) or the tombstone — never a silent miss.
+                self._write_tombstone(fingerprint, new_fingerprint)
+                old_path = (
+                    self._dataset_store / f"{fingerprint}{SPILL_CONTAINER_SUFFIX}"
+                )
+                old_path.unlink(missing_ok=True)
+            invalidated = self._cache.invalidate_fingerprint(fingerprint)
+            self._appends += 1
+            self._append_rows += delta.num_rows
+            self._append_invalidated += invalidated
+        info = self._dataset_info(new_fingerprint)
+        info["superseded"] = fingerprint
+        info["appended_rows"] = delta.num_rows
+        info["invalidated_entries"] = invalidated
+        return info
+
+    def start_append(
+        self,
+        fingerprint: str,
+        lines: Iterable[str],
+        fmt: str = "csv",
+        label: str | None = None,
+    ) -> str:
+        """Run an append as an asynchronous job; returns the job id.
+
+        The request body is parsed up front (it cannot outlive the HTTP
+        request), so submission fails fast on unknown datasets, bad formats
+        and empty deltas; only the append itself — fingerprint chaining,
+        store publication, cache invalidation — runs on the job pool.
+        """
+        self.dataset(fingerprint)  # fail fast before parsing the body
+        delta = self._parse_delta(lines, fmt)
+
+        def work() -> dict[str, object]:
+            return self.append_table(fingerprint, delta, label=label)
+
+        return self._jobs.submit(
+            work,
+            description=f"append {fingerprint[:12]} (+{delta.num_rows} rows)",
+            kind="append",
+        )
 
     # Releases ------------------------------------------------------------------
 
@@ -736,7 +896,9 @@ class AnonymizationService:
             )
 
         return self._jobs.submit(
-            work, description=f"fred {fingerprint[:12]} k={kmin}..{kmax} ({algorithm})"
+            work,
+            description=f"fred {fingerprint[:12]} k={kmin}..{kmax} ({algorithm})",
+            kind="fred",
         )
 
     def _compute_fred(
@@ -825,6 +987,11 @@ class AnonymizationService:
             "pid": os.getpid(),
             "datasets": dataset_count,
             "cache": self._cache.stats(),
+            "appends": {
+                "count": self._appends,
+                "rows": self._append_rows,
+                "invalidated_entries": self._append_invalidated,
+            },
             "linkage": {
                 "kernel_backend": kernel_backend_info(),
                 "shared_memory": shared_memory_available(),

@@ -18,6 +18,8 @@ GET      ``/datasets``            registered datasets
 POST     ``/datasets``            register a dataset (CSV or JSONL body, streamed)
 GET      ``/datasets/<fp>``       one dataset's description
 DELETE   ``/datasets/<fp>``       unregister a dataset (frees its registry slot)
+POST     ``/append/<fp>``         append rows to a dataset (chained fingerprint;
+                                  ``?mode=async`` returns ``202`` + job id)
 POST     ``/release``             anonymized release (JSON body; CSV or JSON reply)
 POST     ``/attack``              fusion-attack estimates against a release
 POST     ``/fred``                launch a FRED sweep job (``202`` + job id)
@@ -332,6 +334,8 @@ class _Handler(BaseHTTPRequestHandler):
         parts = [p for p in parsed.path.split("/") if p]
         if parts == ["datasets"]:
             self._post_dataset(parse_qs(parsed.query))
+        elif len(parts) == 2 and parts[0] == "append":
+            self._post_append(parts[1], parse_qs(parsed.query))
         elif parts == ["release"]:
             self._post_release()
         elif parts == ["attack"]:
@@ -358,6 +362,41 @@ class _Handler(BaseHTTPRequestHandler):
         lines = _iter_body_lines(self.rfile, length)
         info = self.server.service.register_stream(lines, fmt=fmt, label=label)
         self._send_json(201 if info["created"] else 200, info)
+
+    def _post_append(self, fingerprint: str, query: dict[str, list[str]]) -> None:
+        """Stream delta rows onto a registered dataset (see ``append_stream``).
+
+        The body is the same streamed CSV/JSONL as ``POST /datasets``; the
+        reply carries the new chained fingerprint and the superseded one.
+        ``?mode=async`` submits the append to the job pool instead and
+        replies ``202`` with a job id — useful when the invalidation sweep
+        over a large spill tier should not hold the upload connection open.
+        """
+        content_type = (self.headers.get("Content-Type") or "").split(";")[0].strip()
+        if query.get("format"):
+            fmt = query["format"][0]
+        elif content_type in ("application/jsonl", "application/x-ndjson"):
+            fmt = "jsonl"
+        else:
+            fmt = "csv"
+        label = query.get("label", [None])[0]
+        mode = query.get("mode", ["sync"])[0]
+        if mode not in ("sync", "async"):
+            raise ServiceError(f"unknown append mode {mode!r}; options: ['sync', 'async']")
+        length = self._content_length()
+        if length <= 0:
+            raise ServiceError("append requires a non-empty body")
+        lines = _iter_body_lines(self.rfile, length)
+        if mode == "async":
+            job_id = self.server.service.start_append(
+                fingerprint, lines, fmt=fmt, label=label
+            )
+            self._send_json(202, {"job": job_id, "poll": f"/jobs/{job_id}"})
+            return
+        info = self.server.service.append_stream(
+            fingerprint, lines, fmt=fmt, label=label
+        )
+        self._send_json(200, info)
 
     def _post_release(self) -> None:
         body = self._read_json_body()

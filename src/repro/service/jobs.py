@@ -56,6 +56,7 @@ class Job:
 
     id: str
     description: str
+    kind: str = "task"
     status: str = "queued"
     result: object = None
     error: str | None = None
@@ -82,6 +83,7 @@ class Job:
         view: dict[str, object] = {
             "job": self.id,
             "description": self.description,
+            "kind": self.kind,
             "status": status,
         }
         if status == "done":
@@ -153,8 +155,14 @@ class JobManager:
         if self._store is not None:
             self._store.publish(job.snapshot(), self._owner)
 
-    def submit(self, work: Callable[[], object], description: str = "") -> str:
+    def submit(
+        self, work: Callable[[], object], description: str = "", kind: str = "task"
+    ) -> str:
         """Enqueue ``work`` and return its job id.
+
+        ``kind`` labels the job family (``"fred"``, ``"append"``, ...) in
+        every snapshot and stored record, so clients and operators can tell
+        sweep jobs from ingest jobs without parsing descriptions.
 
         The pool submission happens under the manager lock: ``shutdown`` also
         flips ``_closed`` under that lock before shutting the pool down, so a
@@ -170,7 +178,7 @@ class JobManager:
                 job_id = f"job-{self._owner}-{self._counter}"
             else:
                 job_id = f"job-{self._counter}"
-            job = Job(id=job_id, description=description)
+            job = Job(id=job_id, description=description, kind=kind)
             self._jobs[job.id] = job
             self._evict_finished_locked()
             try:

@@ -257,6 +257,7 @@ class JobStore:
         snapshot: dict[str, object] = {
             "job": record.get("job"),
             "description": record.get("description", ""),
+            "kind": record.get("kind", "task"),
             "status": record.get("status"),
             "owner": record.get("owner"),
         }

@@ -51,7 +51,7 @@ class TestParser:
 
     def test_help_lists_every_subcommand(self):
         help_text = build_parser().format_help()
-        for command in ("anonymize", "attack", "fred", "serve"):
+        for command in ("anonymize", "append", "attack", "fred", "serve"):
             assert command in help_text
 
     def test_parses_serve_with_defaults(self):
@@ -106,6 +106,42 @@ class TestAnonymizeCommand:
             [
                 "anonymize", "--input", str(private_path),
                 "--output", str(tmp_path / "r.csv"), "--k", "10000",
+            ]
+        )
+        assert exit_code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestAppendCommand:
+    def test_appends_delta_under_a_chained_fingerprint(
+        self, csv_paths, tmp_path, capsys
+    ):
+        from repro.dataset.table import chain_fingerprints
+
+        private_path, _ = csv_paths
+        base = read_csv(private_path)
+        delta = base.take([0, 1, 2])
+        delta_path = tmp_path / "delta.csv"
+        write_csv(delta, delta_path)
+        output = tmp_path / "combined.csv"
+        exit_code = main(
+            [
+                "append", "--base", str(private_path),
+                "--delta", str(delta_path), "--output", str(output),
+            ]
+        )
+        assert exit_code == 0
+        combined = read_csv(output)
+        assert combined.num_rows == base.num_rows + 3
+        printed = capsys.readouterr().out
+        assert chain_fingerprints(base.fingerprint, delta.fingerprint) in printed
+
+    def test_schema_mismatch_reports_error(self, csv_paths, tmp_path, capsys):
+        private_path, aux_path = csv_paths
+        exit_code = main(
+            [
+                "append", "--base", str(private_path),
+                "--delta", str(aux_path), "--output", str(tmp_path / "out.csv"),
             ]
         )
         assert exit_code == 2

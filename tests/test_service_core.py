@@ -231,3 +231,91 @@ class TestLifecycle:
         instance.close()
         with pytest.raises(ServiceError):
             instance._jobs.submit(lambda: None)
+
+
+class TestAppends:
+    def test_append_chains_fingerprint_and_supersedes(self, service, simple_table):
+        fingerprint = service.register(simple_table, label="people")["fingerprint"]
+        service.release(fingerprint, 2)  # warm a cache entry to invalidate
+        delta = simple_table.take([0, 1])
+        info = service.append_stream(fingerprint, io.StringIO(render_csv(delta)))
+        assert info["superseded"] == fingerprint
+        assert info["appended_rows"] == 2
+        assert info["rows"] == simple_table.num_rows + 2
+        assert info["label"] == "people"
+        assert info["fingerprint"] == simple_table.append(delta).fingerprint
+        assert info["invalidated_entries"] >= 1
+        with pytest.raises(UnknownDatasetError):
+            service.dataset(fingerprint)
+        assert service.dataset(info["fingerprint"]).num_rows == info["rows"]
+        stats = service.stats()["appends"]
+        assert stats["count"] == 1 and stats["rows"] == 2
+        assert stats["invalidated_entries"] == info["invalidated_entries"]
+
+    def test_append_jsonl_and_csv_chain_identically(self, service, simple_table):
+        delta = simple_table.take([2])
+        csv_fp = service.register(simple_table)["fingerprint"]
+        csv_info = service.append_stream(csv_fp, io.StringIO(render_csv(delta)))
+        # Rebuild the base under its original fingerprint, then append the
+        # same delta as JSONL: identical content and history must produce the
+        # identical chained fingerprint.
+        service.register(simple_table)
+        jsonl_info = service.append_stream(
+            csv_info["superseded"], io.StringIO(render_jsonl(delta)), fmt="jsonl"
+        )
+        assert jsonl_info["fingerprint"] == csv_info["fingerprint"]
+
+    def test_append_rejects_bad_inputs(self, service, simple_table):
+        fingerprint = service.register(simple_table)["fingerprint"]
+        header_only = "\n".join(render_csv(simple_table).splitlines()[:2]) + "\n"
+        with pytest.raises(ServiceError, match="empty delta"):
+            service.append_stream(fingerprint, io.StringIO(header_only))
+        with pytest.raises(ServiceError, match="format"):
+            service.append_stream(fingerprint, io.StringIO("x"), fmt="xml")
+        with pytest.raises(UnknownDatasetError):
+            service.append_stream("missing", io.StringIO(render_csv(simple_table)))
+        from repro.exceptions import TableError
+
+        mismatched = "name\nidentifier:text\nAda Byron\n"
+        with pytest.raises(TableError):
+            service.append_stream(fingerprint, io.StringIO(mismatched))
+        # A failed append must leave the base dataset registered and intact.
+        assert service.dataset(fingerprint).num_rows == simple_table.num_rows
+
+    def test_async_append_runs_as_a_job(self, service, simple_table):
+        fingerprint = service.register(simple_table)["fingerprint"]
+        delta = simple_table.take([3])
+        job_id = service.start_append(fingerprint, io.StringIO(render_csv(delta)))
+        snapshot = service.wait_for_job(job_id, timeout=30)
+        assert snapshot["status"] == "done"
+        assert snapshot["kind"] == "append"
+        result = snapshot["result"]
+        assert result["fingerprint"] == simple_table.append(delta).fingerprint
+        assert service.dataset(result["fingerprint"]).num_rows == result["rows"]
+
+    def test_supersede_travels_through_the_shared_store(self, tmp_path, simple_table):
+        first = AnonymizationService(cache_dir=tmp_path)
+        second = AnonymizationService(cache_dir=tmp_path)
+        try:
+            fingerprint = first.register(simple_table, label="people")["fingerprint"]
+            first.release_csv(fingerprint, 2)  # spills artifact + CSV bytes
+            second.dataset(fingerprint)  # sibling adopts a private copy
+            delta = simple_table.take([4, 5])
+            info = second.append_stream(fingerprint, io.StringIO(render_csv(delta)))
+            # The sibling holding a stale private copy must refuse the old
+            # fingerprint (naming the successor) and find the new content.
+            with pytest.raises(UnknownDatasetError, match=info["fingerprint"]):
+                first.dataset(fingerprint)
+            assert first.dataset(info["fingerprint"]).num_rows == info["rows"]
+            # The spilled artifacts keyed by the old fingerprint are gone.
+            assert info["invalidated_entries"] >= 2
+            spill_keys = list(tmp_path.glob("*.npc")) + list(tmp_path.glob("*.pkl"))
+            for path in spill_keys:
+                assert fingerprint not in path.read_bytes().decode("latin-1")
+            # Re-registering the original content resurrects the fingerprint.
+            assert first.register(simple_table)["created"] is True
+            assert first.dataset(fingerprint).num_rows == simple_table.num_rows
+            assert second.dataset(fingerprint).num_rows == simple_table.num_rows
+        finally:
+            first.close()
+            second.close()

@@ -525,3 +525,99 @@ class TestKeepAliveCap:
                 build_server(port=0, service=service, max_keepalive_requests=0)
         finally:
             service.close()
+
+
+class TestAppendEndpoint:
+    def test_sync_append_chains_and_invalidates(
+        self, service_client, faculty_fingerprints, faculty_population
+    ):
+        private, _ = faculty_fingerprints
+        service_client.post_json("/release", {"dataset": private, "k": 3})
+        delta = faculty_population.private.take([0, 1])
+        status, _, body = service_client.post_raw(
+            f"/append/{private}", render_csv(delta).encode(), "text/csv"
+        )
+        assert status == 200
+        info = json.loads(body)
+        assert info["superseded"] == private
+        assert info["appended_rows"] == 2
+        assert info["rows"] == faculty_population.private.num_rows + 2
+        assert info["invalidated_entries"] >= 1
+        expected = faculty_population.private.append(delta).fingerprint
+        assert info["fingerprint"] == expected
+        # The old fingerprint is gone; the new one serves.
+        status, reply = service_client.get(f"/datasets/{private}")
+        assert status == 404
+        status, reply = service_client.get(f"/datasets/{expected}")
+        assert status == 200
+        assert reply["rows"] == info["rows"]
+
+    def test_jsonl_append_via_content_type(self, service_client, simple_table):
+        _, _, body = service_client.post_raw(
+            "/datasets", render_csv(simple_table).encode(), "text/csv"
+        )
+        fingerprint = json.loads(body)["fingerprint"]
+        delta = simple_table.take([2])
+        status, _, body = service_client.post_raw(
+            f"/append/{fingerprint}",
+            render_jsonl(delta).encode(),
+            "application/jsonl",
+        )
+        assert status == 200
+        assert json.loads(body)["fingerprint"] == simple_table.append(delta).fingerprint
+
+    def test_async_append_returns_a_job_ticket(
+        self, service_client, simple_table
+    ):
+        _, _, body = service_client.post_raw(
+            "/datasets", render_csv(simple_table).encode(), "text/csv"
+        )
+        fingerprint = json.loads(body)["fingerprint"]
+        delta = simple_table.take([3, 4])
+        status, _, body = service_client.post_raw(
+            f"/append/{fingerprint}?mode=async", render_csv(delta).encode(), "text/csv"
+        )
+        assert status == 202
+        ticket = json.loads(body)
+        job = ticket["job"]
+        assert ticket["poll"] == f"/jobs/{job}"
+        deadline = time.monotonic() + 120
+        while True:
+            status, snapshot = service_client.get(f"/jobs/{job}")
+            assert status == 200
+            if snapshot["status"] in ("done", "failed"):
+                break
+            assert time.monotonic() < deadline, "append job did not finish"
+            time.sleep(0.05)
+        assert snapshot["status"] == "done"
+        assert snapshot["kind"] == "append"
+        assert snapshot["result"]["fingerprint"] == simple_table.append(delta).fingerprint
+
+    def test_append_error_mapping(self, service_client, simple_table):
+        _, _, body = service_client.post_raw(
+            "/datasets", render_csv(simple_table).encode(), "text/csv"
+        )
+        fingerprint = json.loads(body)["fingerprint"]
+        payload = render_csv(simple_table.take([0])).encode()
+        # Unknown dataset -> 404
+        status, _, _ = service_client.post_raw("/append/nope", payload, "text/csv")
+        assert status == 404
+        # Empty body -> 400
+        status, _, body = service_client.post_raw(
+            f"/append/{fingerprint}", b"", "text/csv"
+        )
+        assert status == 400
+        assert "non-empty" in json.loads(body)["error"]
+        # Unknown mode -> 400
+        status, _, _ = service_client.post_raw(
+            f"/append/{fingerprint}?mode=later", payload, "text/csv"
+        )
+        assert status == 400
+        # Schema mismatch -> 400, dataset untouched
+        status, _, _ = service_client.post_raw(
+            f"/append/{fingerprint}", b"name\nidentifier:text\nAda\n", "text/csv"
+        )
+        assert status == 400
+        status, info = service_client.get(f"/datasets/{fingerprint}")
+        assert status == 200
+        assert info["rows"] == simple_table.num_rows

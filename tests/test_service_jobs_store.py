@@ -38,6 +38,7 @@ class TestJobStoreRoundTrip:
         assert snapshot == {
             "job": "job-101-1",
             "description": "fred",
+            "kind": "task",
             "status": "running",
             "owner": 101,
         }

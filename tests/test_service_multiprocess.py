@@ -270,3 +270,80 @@ class TestTwoWorkerCluster:
                 )
         finally:
             service.close()
+
+
+def _post_raw(base: str, path: str, payload: bytes, content_type: str):
+    """One raw-body POST on a fresh connection -> (headers, body bytes)."""
+    request = urllib.request.Request(
+        base + path,
+        data=payload,
+        headers={"Content-Type": content_type, "Connection": "close"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return dict(response.headers), response.read()
+
+
+class TestAppendAcrossWorkers:
+    def test_append_supersedes_and_invalidates_across_workers(
+        self, cluster, faculty_population
+    ):
+        """The acceptance gate: after ``/append`` lands on one worker, *no*
+        worker may serve a stale release — neither from its private memory
+        tier nor from the shared spill tier — for the appended fingerprint.
+        """
+        server, base, fingerprint, _ = cluster
+
+        # Warm the release on BOTH workers, so each holds the old artifact in
+        # its private memory tier and the spill tier holds it too.
+        warmed: set[str] = set()
+        deadline = time.monotonic() + _DEADLINE_SECONDS
+        while len(warmed) < 2:
+            assert time.monotonic() < deadline, "never warmed both workers"
+            headers, _ = _fetch(base, "/release", {"dataset": fingerprint, "k": 3})
+            warmed.add(headers["X-Repro-Worker"])
+
+        delta = faculty_population.private.take([0, 1])
+        headers, body = _post_raw(
+            base, f"/append/{fingerprint}", render_csv(delta).encode(), "text/csv"
+        )
+        info = json.loads(body)
+        appended = faculty_population.private.append(delta)
+        assert info["superseded"] == fingerprint
+        assert info["appended_rows"] == 2
+        assert info["fingerprint"] == appended.fingerprint
+        # The appending worker purged at least the artifact + CSV twins.
+        assert info["invalidated_entries"] >= 2
+
+        # Every worker must now refuse the old fingerprint (naming the
+        # successor) and serve the appended dataset — byte-identically.
+        refused: set[str] = set()
+        bodies_by_pid: dict[str, bytes] = {}
+        deadline = time.monotonic() + _DEADLINE_SECONDS
+        while len(refused) < 2 or len(bodies_by_pid) < 2:
+            assert time.monotonic() < deadline, (
+                f"refused by {sorted(refused)}, "
+                f"served new release by {sorted(bodies_by_pid)}"
+            )
+            try:
+                headers, _ = _fetch(base, "/release", {"dataset": fingerprint, "k": 3})
+                pytest.fail(
+                    f"worker {headers['X-Repro-Worker']} served a stale "
+                    "release for a superseded fingerprint"
+                )
+            except urllib.error.HTTPError as error:
+                assert error.code == 404
+                reply = json.loads(error.read())
+                assert info["fingerprint"] in reply["error"]
+                refused.add(error.headers["X-Repro-Worker"])
+            headers, body = _fetch(
+                base, "/release", {"dataset": info["fingerprint"], "k": 3}
+            )
+            bodies_by_pid.setdefault(headers["X-Repro-Worker"], body)
+
+        assert len(set(bodies_by_pid.values())) == 1, (
+            "workers must serve byte-identical post-append releases"
+        )
+        # The fresh release covers the appended rows.
+        row_count = next(iter(bodies_by_pid.values())).count(b"\n") - 2
+        assert row_count == appended.num_rows
